@@ -1,0 +1,88 @@
+// Ablation B: threshold sweep plus the cost/benefit migration gate.
+//
+// §III.E: "if the hosted application is a VoIP-like bandwidth aggressive
+// instance, the threshold should be small in order to provide timely relief
+// to hot servers" — smaller thresholds involve more servers and move more
+// VMs (Fig. 9's 0.3-vs-0.1 comparison), at the cost of more migrations.
+// The cost/benefit gate (§VII future work, implemented here) suppresses
+// migrations whose relieved deficit does not pay for the bytes moved.
+#include "bench_util.h"
+
+using namespace vb;
+
+namespace {
+
+struct Outcome {
+  double sd_before = 0, sd_after = 0;
+  double max_before = 0, max_after = 0;
+  std::uint64_t migrations = 0;
+  double megabits_moved = 0;
+};
+
+Outcome run(double threshold, double cost_factor) {
+  core::CloudConfig cfg;
+  cfg.topology.num_pods = 1;
+  cfg.topology.racks_per_pod = 5;
+  cfg.topology.hosts_per_rack = 20;  // 100 servers
+  cfg.seed = 42;
+  cfg.vbundle.threshold = threshold;
+  cfg.vbundle.migration.cost_factor = cost_factor;
+  cfg.vbundle.migration.stability_window_s = 600.0;
+  core::VBundleCloud cloud(cfg);
+
+  auto c = cloud.add_customer("Sweep");
+  for (int h = 0; h < cloud.num_hosts(); ++h) {
+    for (int i = 0; i < 20; ++i) {
+      host::VmId v = cloud.fleet().create_vm(c, host::VmSpec{20.0, 100.0});
+      cloud.fleet().place(v, h);
+    }
+  }
+  Rng rng(5);
+  load::skew_host_utilizations(cloud.fleet(), 0.25, 1.0, rng);
+
+  Outcome out;
+  Summary sb = summarize(cloud.utilization_snapshot());
+  out.sd_before = sb.stddev;
+  out.max_before = sb.max;
+  cloud.start_rebalancing(0.0, 1500.0);
+  cloud.run_until(4800.0);
+  Summary sa = summarize(cloud.utilization_snapshot());
+  out.sd_after = sa.stddev;
+  out.max_after = sa.max;
+  out.migrations = cloud.migrations().completed();
+  out.megabits_moved = cloud.migrations().total_megabits_moved();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_header(
+      "Ablation B - threshold sweep and cost/benefit migration gate",
+      "smaller threshold -> more servers involved, flatter cluster, more "
+      "migrations; the gate trades balance for fewer/cheaper migrations");
+
+  TextTable t;
+  t.set_header({"threshold", "cost gate", "SD before", "SD after",
+                "max util after", "migrations", "Gb moved"});
+  for (double thr : {0.05, 0.1, 0.183, 0.3, 0.4}) {
+    Outcome o = run(thr, 0.0);
+    t.add_row({TextTable::num(thr, 3), "off", TextTable::num(o.sd_before, 4),
+               TextTable::num(o.sd_after, 4), TextTable::num(o.max_after, 3),
+               TextTable::num(static_cast<std::size_t>(o.migrations)),
+               TextTable::num(o.megabits_moved / 1000.0, 1)});
+  }
+  // Gate scale: a 128 MB VM costs 1024 megabits to move; a VM relieving a
+  // deficit d for the 600 s stability window buys d*600 megabits.  The gate
+  // passes when d*600 >= gate*1024, i.e. d >= gate*1.7 Mbps.
+  for (double gate : {5.0, 20.0, 100.0}) {
+    Outcome o = run(0.183, gate);
+    t.add_row({TextTable::num(0.183, 3), TextTable::num(gate, 0),
+               TextTable::num(o.sd_before, 4), TextTable::num(o.sd_after, 4),
+               TextTable::num(o.max_after, 3),
+               TextTable::num(static_cast<std::size_t>(o.migrations)),
+               TextTable::num(o.megabits_moved / 1000.0, 1)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared setup helpers for the paper-reproduction bench binaries.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (see DESIGN.md's per-experiment index) and prints the same
+// rows/series the paper reports, plus the claim being checked.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "vbundle/cloud.h"
+#include "vbundle/metrics.h"
+#include "workloads/scenario.h"
+
+namespace vb::benchutil {
+
+/// The paper's large-scale simulation shape: 3000 servers (§IV) arranged as
+/// 5 pods x 15 racks x 40 hosts, 1 Gbps NICs, 8:1 ToR oversubscription.
+inline core::CloudConfig paper_scale_config(std::uint64_t seed = 42) {
+  core::CloudConfig cfg;
+  cfg.topology.num_pods = 5;
+  cfg.topology.racks_per_pod = 15;
+  cfg.topology.hosts_per_rack = 40;
+  cfg.topology.host_nic_mbps = 1000.0;
+  cfg.topology.tor_oversubscription = 8.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// A reduced "paper scale" for fast CI-style runs: 768 servers
+/// (4 pods x 8 racks x 24 hosts).  Used where the full 3000 adds nothing
+/// but wall-clock.
+inline core::CloudConfig mid_scale_config(std::uint64_t seed = 42) {
+  core::CloudConfig cfg;
+  cfg.topology.num_pods = 4;
+  cfg.topology.racks_per_pod = 8;
+  cfg.topology.hosts_per_rack = 24;
+  cfg.topology.host_nic_mbps = 1000.0;
+  cfg.topology.tor_oversubscription = 8.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// The paper's 15-host testbed (§IV-V).
+inline core::CloudConfig testbed_config(std::uint64_t seed = 42) {
+  core::CloudConfig cfg;
+  cfg.topology.num_pods = 1;
+  cfg.topology.racks_per_pod = 4;
+  cfg.topology.hosts_per_rack = 4;
+  cfg.topology.host_nic_mbps = 1000.0;
+  cfg.topology.tor_oversubscription = 8.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline void print_header(const std::string& title, const std::string& claim) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("==========================================================\n");
+}
+
+/// Per-customer placement footprint; see core::placement_footprint.
+inline core::PlacementFootprint footprint(const core::VBundleCloud& cloud,
+                                          const std::string& /*name*/,
+                                          const std::vector<host::VmId>& vms) {
+  return core::placement_footprint(cloud.topology(), cloud.fleet(), vms);
+}
+
+}  // namespace vb::benchutil

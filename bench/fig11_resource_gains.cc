@@ -1,0 +1,67 @@
+// Figure 11: resource gains during rebalancing for 3000 servers / 75350
+// VMs — total bandwidth demand vs. actually satisfied bandwidth over time.
+//
+// Paper claims: before rebalancing there is a visible gap (VMs at peak are
+// "bounded by the hardware limits of the underlying servers" while other
+// servers idle); v-Bundle sheds load in ~2 rounds (minutes ~33 and ~57),
+// after which "the actual satisfied resource in total is approaching the
+// resource demand in total" and all VM demands are met (~1.86-1.89 x 10^6
+// Mbps at this scale).
+#include "bench_util.h"
+
+using namespace vb;
+
+int main() {
+  benchutil::print_header(
+      "Figure 11 - total demand vs satisfied bandwidth, 3000 servers",
+      "the demand/satisfied gap closes after two shedding rounds; only then "
+      "does the customer receive the QoS she pays for");
+
+  core::CloudConfig cfg = benchutil::paper_scale_config();
+  cfg.vbundle.threshold = 0.183;
+  // Two shedding rounds close the gap (paper: "v-Bundle initiates 2 rounds
+  // of load shedding at about minutes 33 and 57").
+  cfg.vbundle.max_sheds_per_round = 3;
+  core::VBundleCloud cloud(cfg);
+  auto c = cloud.add_customer("FigEleven");
+  const int total_vms = 75350;
+  for (int i = 0; i < total_vms; ++i) {
+    host::VmId v = cloud.fleet().create_vm(c, host::VmSpec{20.0, 100.0});
+    cloud.fleet().place(v, i % cloud.num_hosts());
+  }
+  // Skew so a sizable set of servers is demand-overcommitted (>100% of the
+  // NIC), which is exactly the "bounded by hardware limits" starvation.
+  // Range [0.10, 1.15] gives a cluster mean near the paper's 0.6226 (total
+  // demand ~1.87e6 Mbps on 3e6 Mbps of NICs) with a starved tail.
+  Rng rng(11);
+  load::skew_host_utilizations(cloud.fleet(), 0.10, 1.15, rng);
+
+  cloud.start_rebalancing(0.0, 33.0 * 60.0);
+
+  TextTable t;
+  t.set_header({"minute", "demand (1e6 Mbps)", "satisfied (1e6 Mbps)",
+                "gap (Mbps)"});
+  std::vector<double> gap_series;
+  for (int minute = 15; minute <= 75; minute += 3) {
+    cloud.run_until(minute * 60.0);
+    double demand = cloud.fleet().total_demand_mbps();
+    double satisfied = cloud.fleet().total_satisfied_mbps();
+    gap_series.push_back(demand - satisfied);
+    t.add_row({TextTable::num(static_cast<std::size_t>(minute)),
+               TextTable::num(demand / 1e6, 4),
+               TextTable::num(satisfied / 1e6, 4),
+               TextTable::num(demand - satisfied, 0)});
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  double gap_before = gap_series.front();
+  double gap_after = gap_series.back();
+  std::printf(
+      "\nunsatisfied demand: %.0f Mbps before -> %.0f Mbps after "
+      "(%.1f%% of the initial gap closed)\n",
+      gap_before, gap_after,
+      gap_before > 0 ? 100.0 * (1.0 - gap_after / gap_before) : 0.0);
+  std::printf("migrations completed: %llu\n",
+              static_cast<unsigned long long>(cloud.migrations().completed()));
+  return 0;
+}

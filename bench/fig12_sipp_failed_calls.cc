@@ -1,0 +1,50 @@
+// Figure 12: number of failed SIPp calls over time, before / during / after
+// v-Bundle's instance rebalancing.
+//
+// Paper claims: before t=300 s the co-located Iperf VMs and the ramping call
+// rate exceed the host NIC and SIPp loses calls; between ~300 s and ~375 s
+// v-Bundle relocates VMs; afterwards the failure count drops to (near) zero.
+#include "sipp_common.h"
+
+using namespace vb;
+
+int main() {
+  benchutil::print_header(
+      "Figure 12 - SIPp failed calls before/during/after rebalancing",
+      "failures climb with the call-rate ramp until ~300 s, v-Bundle "
+      "migrates VMs during ~300-375 s, failures collapse afterwards");
+
+  benchutil::SippRun with = benchutil::run_sipp_experiment(true);
+  benchutil::SippRun without = benchutil::run_sipp_experiment(false);
+
+  TextTable t;
+  t.set_header({"t (s)", "offered cps", "sipp alloc (Mbps)",
+                "failed/s (v-Bundle)", "failed/s (no rebalance)"});
+  for (int ts = 100; ts < 500; ts += 25) {
+    auto i = static_cast<std::size_t>(ts);
+    t.add_row({TextTable::num(static_cast<std::size_t>(ts)),
+               TextTable::num(with.offered_rate[i], 0),
+               TextTable::num(with.sipp_alloc_mbps[i], 0),
+               TextTable::num(static_cast<std::size_t>(with.failed_per_second[i])),
+               TextTable::num(static_cast<std::size_t>(without.failed_per_second[i]))});
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  auto sum_range = [](const std::vector<std::uint64_t>& v, int lo, int hi) {
+    std::uint64_t s = 0;
+    for (int i = lo; i < hi; ++i) s += v[static_cast<std::size_t>(i)];
+    return s;
+  };
+  std::printf("\nfailed calls, with v-Bundle: before(0-300)=%llu "
+              "during(300-375)=%llu after(375-500)=%llu\n",
+              static_cast<unsigned long long>(sum_range(with.failed_per_second, 0, 300)),
+              static_cast<unsigned long long>(sum_range(with.failed_per_second, 300, 375)),
+              static_cast<unsigned long long>(sum_range(with.failed_per_second, 375, 500)));
+  std::printf("failed calls, without:       before=%llu during=%llu after=%llu\n",
+              static_cast<unsigned long long>(sum_range(without.failed_per_second, 0, 300)),
+              static_cast<unsigned long long>(sum_range(without.failed_per_second, 300, 375)),
+              static_cast<unsigned long long>(sum_range(without.failed_per_second, 375, 500)));
+  std::printf("migrations performed by v-Bundle: %llu\n",
+              static_cast<unsigned long long>(with.migrations));
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 13: cumulative distribution of SIPp response time, before vs.
+// after v-Bundle rebalancing.
+//
+// Paper claims: before rebalancing only ~10% of calls respond within 10 ms;
+// after rebalancing ~90-94.5% respond within 10 ms.
+#include "sipp_common.h"
+
+using namespace vb;
+
+int main() {
+  benchutil::print_header(
+      "Figure 13 - CDF of SIPp response time, before vs after rebalancing",
+      "before: ~10% of calls under 10 ms; after: ~90%+ under 10 ms");
+
+  benchutil::SippRun run = benchutil::run_sipp_experiment(true);
+
+  TextTable t;
+  t.set_header({"percentile", "before (ms)", "after (ms)"});
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    t.add_row({TextTable::num(p, 0),
+               TextTable::num(percentile(run.response_before_ms, p), 2),
+               TextTable::num(percentile(run.response_after_ms, p), 2)});
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  double before10 = fraction_below(run.response_before_ms, 10.0);
+  double after10 = fraction_below(run.response_after_ms, 10.0);
+  std::printf("\nfraction of samples with response time <= 10 ms:\n"
+              "  before rebalancing: %.3f   (paper: ~0.10)\n"
+              "  after rebalancing:  %.3f   (paper: ~0.945)\n",
+              before10, after10);
+
+  std::printf("\nCDF points (value ms -> cumulative fraction), after:\n");
+  auto cdf = empirical_cdf(run.response_after_ms);
+  for (std::size_t i = 0; i < cdf.size(); i += std::max<std::size_t>(1, cdf.size() / 8)) {
+    std::printf("  %.2f ms -> %.2f\n", cdf[i].value, cdf[i].fraction);
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 7: VM/PM mappings when instantiating 5000 VMs on 3000 servers for
+// 5 customers using v-Bundle's topology-aware placement.
+//
+// The paper's scatter plot shows each customer's VMs forming tight clusters
+// (same rack / adjacent servers) while different customers spread across
+// the datacenter.  We reproduce the underlying placement and report, per
+// customer: racks used, hosts used, largest rack share, and the locality
+// breakdown of intra-customer "chatting" traffic — the quantity the
+// clustering exists to optimize ("inter-VM traffic traversing the
+// bottleneck switch or router is minimized").
+#include <map>
+
+#include "bench_util.h"
+#include "net/traffic_matrix.h"
+
+using namespace vb;
+
+int main() {
+  benchutil::print_header(
+      "Figure 7 - v-Bundle placement of 5000 VMs / 3000 servers / 5 customers",
+      "VMs of the same customer cluster in few racks; customers spread "
+      "evenly; cross-rack chatting traffic is minimized");
+
+  core::CloudConfig cfg = benchutil::paper_scale_config();
+  cfg.vbundle.max_placement_visits = 4000;
+  core::VBundleCloud cloud(cfg);
+
+  std::map<std::string, std::vector<host::VmId>> placed;
+  int failures = 0;
+  for (const std::string& name : load::paper_customers()) {
+    auto c = cloud.add_customer(name);
+    for (int i = 0; i < 1000; ++i) {
+      // Alternate the Fig. 1 instance specs.
+      host::VmSpec spec = i % 2 == 0 ? host::VmSpec{100, 200}
+                                     : host::VmSpec{200, 400};
+      auto r = cloud.boot_vm(c, spec);
+      if (r.ok) {
+        placed[name].push_back(r.vm);
+      } else {
+        ++failures;
+      }
+    }
+  }
+
+  TextTable t;
+  t.set_header({"customer", "VMs", "hosts", "racks", "max-rack-share",
+                "anchor rack"});
+  for (const std::string& name : load::paper_customers()) {
+    auto fp = benchutil::footprint(cloud, name, placed[name]);
+    U128 key = sha1_key(name);
+    int anchor = cloud.pastry().global_closest(key).host;
+    t.add_row({name, TextTable::num(static_cast<std::size_t>(fp.vms)),
+               TextTable::num(static_cast<std::size_t>(fp.hosts_used)),
+               TextTable::num(static_cast<std::size_t>(fp.racks_used)),
+               TextTable::num(fp.max_rack_share, 3),
+               TextTable::num(static_cast<std::size_t>(
+                   cloud.topology().rack_of(anchor)))});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("placement failures: %d (expected 0)\n", failures);
+
+  // Locality of intra-customer chatting traffic under this placement.
+  Rng rng(7);
+  std::vector<net::Flow> flows;
+  for (const std::string& name : load::paper_customers()) {
+    auto f = load::chatting_flows(cloud.fleet(), placed[name], 3, 10.0, rng);
+    flows.insert(flows.end(), f.begin(), f.end());
+  }
+  net::LocalityBreakdown lb = net::locality_breakdown(cloud.topology(), flows);
+  std::printf(
+      "\nchatting-traffic locality (fraction of demand):\n"
+      "  same host  %.3f\n  same rack  %.3f\n  same pod   %.3f\n"
+      "  cross pod  %.3f\n  => cross-rack (bi-section) share: %.3f\n",
+      lb.same_host, lb.same_rack, lb.same_pod, lb.cross_pod, lb.cross_rack());
+
+  // Customer spread across the datacenter: count distinct pods the five
+  // anchors land in (paper: "VMs belonging to different customers are
+  // dispersed evenly across the whole data center").
+  std::map<int, int> pods;
+  for (const std::string& name : load::paper_customers()) {
+    int anchor = cloud.pastry().global_closest(sha1_key(name)).host;
+    pods[cloud.topology().pod_of(anchor)]++;
+  }
+  std::printf("\ncustomer anchors span %zu of %d pods\n", pods.size(),
+              cloud.topology().num_pods());
+
+  // Compact per-customer rack map (rack index : count), the textual
+  // equivalent of the Fig. 7 scatter.
+  std::printf("\nper-customer rack occupancy (rack:count):\n");
+  for (const std::string& name : load::paper_customers()) {
+    std::map<int, int> racks;
+    for (host::VmId v : placed[name]) {
+      int h = cloud.fleet().vm(v).host;
+      if (h >= 0) racks[cloud.topology().rack_of(h)]++;
+    }
+    std::printf("  %-9s", name.c_str());
+    for (auto [r, c] : racks) std::printf(" %d:%d", r, c);
+    std::printf("\n");
+  }
+  return 0;
+}

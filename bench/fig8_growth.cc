@@ -1,0 +1,117 @@
+// Figure 8: after the initial 5000 VMs, another 5000 VMs are instantiated
+// for the same 5 customers — (a) with v-Bundle's placement, (b) with the
+// greedy first-fit baseline.
+//
+// Paper claim: under v-Bundle the doubled population still clusters per
+// customer ("keys are chosen randomly and mapped to geographically diverse
+// servers, so peers who are adjacent in keys have space to grow"), while
+// greedy placement strands newcomers far from their collaborators, forcing
+// long cross-rack paths.
+#include <map>
+
+#include "baselines/greedy_placement.h"
+#include "bench_util.h"
+#include "net/traffic_matrix.h"
+
+using namespace vb;
+
+namespace {
+
+struct Outcome {
+  std::map<std::string, std::vector<host::VmId>> placed;
+  net::LocalityBreakdown locality;
+  double mean_racks = 0.0;
+};
+
+net::LocalityBreakdown measure(const core::VBundleCloud& cloud,
+                               std::map<std::string, std::vector<host::VmId>>& placed) {
+  Rng rng(7);
+  std::vector<net::Flow> flows;
+  for (const std::string& name : load::paper_customers()) {
+    auto f = load::chatting_flows(cloud.fleet(), placed[name], 3, 10.0, rng);
+    flows.insert(flows.end(), f.begin(), f.end());
+  }
+  return net::locality_breakdown(cloud.topology(), flows);
+}
+
+Outcome run(bool growth_via_vbundle) {
+  core::CloudConfig cfg = benchutil::paper_scale_config();
+  cfg.vbundle.max_placement_visits = 4000;
+  core::VBundleCloud cloud(cfg);
+  Outcome out;
+
+  std::map<std::string, host::CustomerId> ids;
+  // Phase 1 (both modes): initial 1000 VMs/customer via v-Bundle, matching
+  // Fig. 7's starting state.
+  for (const std::string& name : load::paper_customers()) {
+    ids[name] = cloud.add_customer(name);
+    for (int i = 0; i < 1000; ++i) {
+      host::VmSpec spec = i % 2 == 0 ? host::VmSpec{100, 200}
+                                     : host::VmSpec{200, 400};
+      auto r = cloud.boot_vm(ids[name], spec);
+      if (r.ok) out.placed[name].push_back(r.vm);
+    }
+  }
+  // Phase 2: another 1000 VMs/customer via v-Bundle (8a) or greedy (8b).
+  baseline::GreedyPlacer greedy(&cloud.fleet());
+  for (const std::string& name : load::paper_customers()) {
+    for (int i = 0; i < 1000; ++i) {
+      host::VmSpec spec = i % 2 == 0 ? host::VmSpec{100, 200}
+                                     : host::VmSpec{200, 400};
+      if (growth_via_vbundle) {
+        auto r = cloud.boot_vm(ids[name], spec);
+        if (r.ok) out.placed[name].push_back(r.vm);
+      } else {
+        host::VmId v = cloud.fleet().create_vm(ids[name], spec);
+        if (greedy.place(v) >= 0) out.placed[name].push_back(v);
+      }
+    }
+  }
+
+  out.locality = measure(cloud, out.placed);
+  double racks = 0;
+  for (const std::string& name : load::paper_customers()) {
+    racks += benchutil::footprint(cloud, name, out.placed[name]).racks_used;
+  }
+  out.mean_racks = racks / static_cast<double>(load::paper_customers().size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_header(
+      "Figure 8 - growth to 10000 VMs: v-Bundle (8a) vs greedy (8b)",
+      "v-Bundle keeps grown customers clustered (low cross-rack traffic); "
+      "greedy strands newcomers on distant first-fit servers");
+
+  Outcome vb_out = run(/*growth_via_vbundle=*/true);
+  Outcome greedy_out = run(/*growth_via_vbundle=*/false);
+
+  TextTable t;
+  t.set_header({"policy", "VMs placed", "mean racks/customer",
+                "same-rack-or-host", "cross-rack share", "cross-pod share"});
+  auto row = [&](const char* name, const Outcome& o) {
+    std::size_t total = 0;
+    for (const auto& [c, v] : o.placed) total += v.size();
+    t.add_row({name, TextTable::num(total), TextTable::num(o.mean_racks, 1),
+               TextTable::num(o.locality.same_host + o.locality.same_rack, 3),
+               TextTable::num(o.locality.cross_rack(), 3),
+               TextTable::num(o.locality.cross_pod, 3)});
+  };
+  row("v-Bundle (8a)", vb_out);
+  row("greedy  (8b)", greedy_out);
+  std::printf("%s", t.to_string().c_str());
+
+  // A grown customer legitimately spans several racks, so the telling
+  // contrast is how far apart collaborating halves end up: v-Bundle grows
+  // clusters outward (neighboring racks, same pod), greedy strands the new
+  // half wherever first-fit scan order finds holes (often other pods).
+  double improvement = greedy_out.locality.cross_pod /
+                       std::max(1e-9, vb_out.locality.cross_pod);
+  std::printf(
+      "\ncross-pod chatting traffic: greedy ships %.1fx more demand across\n"
+      "the datacenter core than v-Bundle after the growth phase.\n",
+      improvement);
+  return 0;
+}

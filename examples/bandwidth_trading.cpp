@@ -1,0 +1,90 @@
+// Bandwidth trading: the paper's Figure 1 story, end to end.
+//
+// A customer owns 6 VMs on 3 hosts: three "standard" (100 Mbps reservation)
+// front-ends and three "high I/O" (200 Mbps) back-ends, each host having a
+// 400 Mbps NIC.  When two co-located VMs spike past their host's NIC, a
+// traditional fixed-size offering leaves the customer starved even though
+// her *other* instances sit idle.  v-Bundle discovers the idle capacity via
+// the Less-Loaded anycast tree and live-migrates the hot VM — the customer
+// trades bandwidth between her own instances at no extra cost.
+//
+//   $ ./bandwidth_trading
+#include <cstdio>
+
+#include "vbundle/cloud.h"
+
+using namespace vb;
+
+namespace {
+
+void print_state(core::VBundleCloud& cloud, const char* label) {
+  std::printf("\n%s\n", label);
+  std::printf("  %-6s %-6s %-10s %-10s %-10s\n", "vm", "host", "demand",
+              "granted", "satisfied");
+  double total_demand = 0, total_granted = 0;
+  for (int h = 0; h < cloud.num_hosts(); ++h) {
+    for (const auto& [vm, granted] : cloud.fleet().shape_host(h)) {
+      const host::Vm& v = cloud.fleet().vm(vm);
+      total_demand += v.capped_demand();
+      total_granted += granted;
+      std::printf("  vm%-4d h%-5d %7.0f    %7.0f    %6.0f%%\n", vm, h,
+                  v.capped_demand(), granted,
+                  v.capped_demand() > 0 ? 100.0 * granted / v.capped_demand()
+                                        : 100.0);
+    }
+  }
+  std::printf("  customer total: demand %.0f Mbps, received %.0f Mbps\n",
+              total_demand, total_granted);
+}
+
+}  // namespace
+
+int main() {
+  core::CloudConfig cfg;
+  cfg.topology.num_pods = 1;
+  cfg.topology.racks_per_pod = 1;
+  cfg.topology.hosts_per_rack = 3;   // PM1..PM3 of Fig. 1
+  cfg.topology.host_nic_mbps = 400.0;
+  cfg.seed = 3;
+  cfg.vbundle.threshold = 0.1;
+  cfg.vbundle.update_interval_s = 30.0;
+  cfg.vbundle.rebalance_interval_s = 60.0;
+  core::VBundleCloud cloud(cfg);
+
+  auto cust = cloud.add_customer("Fig1Customer");
+  // Place the Fig. 1 layout directly: one standard + one high-I/O VM per
+  // host (100+200 = 300 Mbps of reservations on each 400 Mbps NIC).
+  std::vector<host::VmId> vms;
+  for (int h = 0; h < 3; ++h) {
+    host::VmId standard = cloud.fleet().create_vm(cust, host::VmSpec{100, 200});
+    host::VmId highio = cloud.fleet().create_vm(cust, host::VmSpec{200, 400});
+    cloud.fleet().place(standard, h);
+    cloud.fleet().place(highio, h);
+    vms.push_back(standard);
+    vms.push_back(highio);
+  }
+
+  // Scenario (a): light workloads, everything satisfied.
+  for (host::VmId v : vms) cloud.fleet().set_demand(v, 50.0);
+  print_state(cloud, "(a) all workloads light (50 Mbps each): all satisfied");
+
+  // Scenario (b): VM2 and VM3 on PM2 spike to their limits; PM2's 400 Mbps
+  // NIC cannot carry 200+400, while PM1/PM3 idle.
+  cloud.fleet().set_demand(vms[2], 200.0);
+  cloud.fleet().set_demand(vms[3], 400.0);
+  for (host::VmId v : {vms[0], vms[1], vms[4], vms[5]}) {
+    cloud.fleet().set_demand(v, 25.0);
+  }
+  print_state(cloud,
+              "(b) VM2+VM3 spike on PM2: fixed-size offering leaves them "
+              "starved");
+
+  // Scenario (c): v-Bundle discovers the idle bandwidth and migrates.
+  cloud.start_rebalancing(0.0, 60.0);
+  cloud.run_until(400.0);
+  print_state(cloud, "(c) after v-Bundle trading: borrowed idle bandwidth");
+  std::printf("\nmigrations: %llu; the customer now receives what she paid "
+              "for without buying more.\n",
+              static_cast<unsigned long long>(cloud.migrations().completed()));
+  return 0;
+}

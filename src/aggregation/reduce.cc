@@ -1,0 +1,26 @@
+#include "aggregation/reduce.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vb::agg {
+
+AggValue combine(const AggValue& a, const AggValue& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  AggValue out;
+  out.sum = a.sum + b.sum;
+  out.min = std::min(a.min, b.min);
+  out.max = std::max(a.max, b.max);
+  out.count = a.count + b.count;
+  return out;
+}
+
+std::string to_string(const AggValue& v) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "{sum=%.3f min=%.3f max=%.3f n=%llu}", v.sum,
+                v.min, v.max, static_cast<unsigned long long>(v.count));
+  return buf;
+}
+
+}  // namespace vb::agg

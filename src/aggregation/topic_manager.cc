@@ -1,0 +1,26 @@
+#include "aggregation/topic_manager.h"
+
+#include <iterator>
+
+namespace vb::agg {
+
+void TopicManager::retain_children(const std::vector<U128>& keep) {
+  for (auto it = children_.begin(); it != children_.end();) {
+    bool kept = false;
+    for (const U128& k : keep) {
+      if (k == it->first) {
+        kept = true;
+        break;
+      }
+    }
+    it = kept ? std::next(it) : children_.erase(it);
+  }
+}
+
+AggValue TopicManager::reduce() const {
+  AggValue acc = has_local_ ? local_ : AggValue::zero();
+  for (const auto& [child, v] : children_) acc = combine(acc, v);
+  return acc;
+}
+
+}  // namespace vb::agg

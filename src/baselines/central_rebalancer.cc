@@ -1,0 +1,93 @@
+#include "baselines/central_rebalancer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vb::baseline {
+
+CentralRebalancer::CentralRebalancer(host::Fleet* fleet, double threshold)
+    : fleet_(fleet), threshold_(threshold) {
+  if (fleet == nullptr) {
+    throw std::invalid_argument("CentralRebalancer: null fleet");
+  }
+  if (threshold < 0) {
+    throw std::invalid_argument("CentralRebalancer: negative threshold");
+  }
+}
+
+int CentralRebalancer::most_loaded_host() const {
+  int best = -1;
+  double worst = -1.0;
+  for (int h = 0; h < fleet_->num_hosts(); ++h) {
+    double u = fleet_->host_utilization(h);
+    if (u > worst) {
+      worst = u;
+      best = h;
+    }
+  }
+  return best;
+}
+
+CentralRebalanceResult CentralRebalancer::rebalance(int max_migrations) {
+  CentralRebalanceResult result;
+  const int n = fleet_->num_hosts();
+
+  while (result.migrations < max_migrations) {
+    // Global snapshot: cluster mean.
+    double total_demand = 0.0, total_capacity = 0.0;
+    for (int h = 0; h < n; ++h) {
+      total_demand += fleet_->host_demand_mbps(h);
+      total_capacity += fleet_->host(h).capacity_mbps();
+    }
+    double mean = total_capacity > 0 ? total_demand / total_capacity : 0.0;
+    double ceiling = mean + threshold_;
+
+    int hot = most_loaded_host();
+    if (hot < 0 || fleet_->host_utilization(hot) <= ceiling) {
+      result.converged = true;
+      break;
+    }
+
+    // Pick the hot host's largest-demand VM, then scan every host for the
+    // best (least loaded, admissible, stays under ceiling) destination —
+    // the O(#VMs x #hosts) inner step.
+    host::VmId victim = -1;
+    double victim_demand = 0.0;
+    for (host::VmId id : fleet_->host(hot).vms()) {
+      double d = fleet_->vm(id).capped_demand();
+      if (d > victim_demand) {
+        victim_demand = d;
+        victim = id;
+      }
+    }
+    if (victim == -1) break;  // nothing movable
+
+    int dst = -1;
+    double dst_util = 1e18;
+    for (int h = 0; h < n; ++h) {
+      ++result.pairs_examined;
+      if (h == hot) continue;
+      if (!fleet_->host(h).can_admit(fleet_->vm(victim).spec)) continue;
+      double u = fleet_->host_utilization(h);
+      double post = u + victim_demand / fleet_->host(h).capacity_mbps();
+      if (post >= ceiling) continue;
+      if (u < dst_util) {
+        dst_util = u;
+        dst = h;
+      }
+    }
+    if (dst == -1) break;  // stuck: no admissible destination
+
+    fleet_->migrate(victim, dst, /*consume_hold=*/false);
+    ++result.migrations;
+  }
+
+  result.final_max_utilization = 0.0;
+  for (int h = 0; h < n; ++h) {
+    result.final_max_utilization =
+        std::max(result.final_max_utilization, fleet_->host_utilization(h));
+  }
+  return result;
+}
+
+}  // namespace vb::baseline

@@ -1,0 +1,40 @@
+// Centralized DRS-like rebalancer baseline (§I challenge 2, §VI.B).
+//
+// "A central manager is used to monitor each server's utilization and track
+// each VM's resource demand ... the time complexity for the load balancing
+// step is O(#VMs x #hosts)."  This baseline reproduces that cost model: it
+// takes a global snapshot and greedily moves the hottest VM from the most
+// loaded server to the best-fitting least loaded server until every server
+// sits within mean + threshold.  The pairs-examined counter quantifies the
+// centralized decision cost v-Bundle avoids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hostmodel/host.h"
+
+namespace vb::baseline {
+
+struct CentralRebalanceResult {
+  int migrations = 0;
+  std::uint64_t pairs_examined = 0;  ///< (VM, candidate host) checks
+  double final_max_utilization = 0.0;
+  bool converged = false;  ///< all hosts within mean + threshold
+};
+
+class CentralRebalancer {
+ public:
+  CentralRebalancer(host::Fleet* fleet, double threshold);
+
+  /// One full rebalancing pass over a global snapshot.  Mutates placements
+  /// directly (the central manager has that power).
+  CentralRebalanceResult rebalance(int max_migrations = 1 << 20);
+
+ private:
+  int most_loaded_host() const;
+  host::Fleet* fleet_;
+  double threshold_;
+};
+
+}  // namespace vb::baseline

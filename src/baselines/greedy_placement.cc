@@ -1,0 +1,19 @@
+#include "baselines/greedy_placement.h"
+
+#include <stdexcept>
+
+namespace vb::baseline {
+
+GreedyPlacer::GreedyPlacer(host::Fleet* fleet) : fleet_(fleet) {
+  if (fleet == nullptr) throw std::invalid_argument("GreedyPlacer: null fleet");
+}
+
+int GreedyPlacer::place(host::VmId vm) {
+  for (int h = 0; h < fleet_->num_hosts(); ++h) {
+    ++hosts_examined_;
+    if (fleet_->place(vm, h)) return h;
+  }
+  return -1;
+}
+
+}  // namespace vb::baseline

@@ -1,0 +1,29 @@
+// Greedy first-fit placement baseline (paper Fig. 8b).
+//
+// "The greedy algorithm makes decisions on the basis of information at hand
+// without considering the effects these decisions may have in the future.
+// It places the new coming VMs on the first server it finds with enough
+// resources."
+#pragma once
+
+#include "hostmodel/host.h"
+
+namespace vb::baseline {
+
+class GreedyPlacer {
+ public:
+  explicit GreedyPlacer(host::Fleet* fleet);
+
+  /// Places `vm` on the first host (scanning from host 0) that can admit its
+  /// reservation.  Returns the host id, or -1 if the cloud is full.
+  int place(host::VmId vm);
+
+  /// Hosts examined across all placements (decision-cost accounting).
+  std::uint64_t hosts_examined() const { return hosts_examined_; }
+
+ private:
+  host::Fleet* fleet_;
+  std::uint64_t hosts_examined_ = 0;
+};
+
+}  // namespace vb::baseline

@@ -1,0 +1,26 @@
+#include "baselines/random_placement.h"
+
+#include <stdexcept>
+
+namespace vb::baseline {
+
+RandomPlacer::RandomPlacer(host::Fleet* fleet, std::uint64_t seed)
+    : fleet_(fleet), rng_(seed) {
+  if (fleet == nullptr) throw std::invalid_argument("RandomPlacer: null fleet");
+}
+
+int RandomPlacer::place(host::VmId vm) {
+  const int n = fleet_->num_hosts();
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    int h = static_cast<int>(rng_.index(static_cast<std::size_t>(n)));
+    if (fleet_->place(vm, h)) return h;
+  }
+  int start = static_cast<int>(rng_.index(static_cast<std::size_t>(n)));
+  for (int i = 0; i < n; ++i) {
+    int h = (start + i) % n;
+    if (fleet_->place(vm, h)) return h;
+  }
+  return -1;
+}
+
+}  // namespace vb::baseline

@@ -1,0 +1,25 @@
+// Random placement baseline: what an IaaS provider that is "unaware of the
+// hosted instances' communication patterns" does (§I challenge 1) — pick any
+// server with sufficient resources left.
+#pragma once
+
+#include "common/rng.h"
+#include "hostmodel/host.h"
+
+namespace vb::baseline {
+
+class RandomPlacer {
+ public:
+  RandomPlacer(host::Fleet* fleet, std::uint64_t seed);
+
+  /// Places `vm` on a uniformly random host with room; falls back to a
+  /// linear scan from a random start if sampling keeps missing.  Returns the
+  /// host id or -1.
+  int place(host::VmId vm);
+
+ private:
+  host::Fleet* fleet_;
+  Rng rng_;
+};
+
+}  // namespace vb::baseline

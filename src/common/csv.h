@@ -1,0 +1,35 @@
+// Tiny CSV writer for exporting experiment series (the tools/ binaries can
+// dump figures' data for external plotting).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vb {
+
+/// Streams rows to a CSV file.  Fields containing commas, quotes, or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates); throws on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row.  The first row is conventionally the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric series.
+  void row_numeric(const std::vector<double>& cells, int precision = 6);
+
+  /// Rows written so far.
+  std::size_t rows_written() const { return rows_; }
+
+  /// Escapes one cell per RFC 4180 (exposed for testing).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace vb

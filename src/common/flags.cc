@@ -1,0 +1,94 @@
+#include "common/flags.h"
+
+#include <stdexcept>
+
+namespace vb {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags f;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      f.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      throw std::invalid_argument("Flags: bare '--' not supported");
+    }
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      std::string key = body.substr(0, eq);
+      if (key.empty()) throw std::invalid_argument("Flags: missing key in " + arg);
+      f.values_[key] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" form when the next token is not itself a flag;
+    // otherwise a bare switch.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      f.values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      f.values_[body] = "";
+    }
+  }
+  return f;
+}
+
+std::optional<std::string> Flags::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_string(const std::string& key,
+                              const std::string& fallback) const {
+  auto v = get(key);
+  return v.has_value() ? *v : fallback;
+}
+
+double Flags::get_double(const std::string& key, double fallback) const {
+  auto v = get(key);
+  if (!v.has_value() || v->empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    double out = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing chars");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Flags: --" + key + " expects a number, got '" +
+                                *v + "'");
+  }
+}
+
+int Flags::get_int(const std::string& key, int fallback) const {
+  auto v = get(key);
+  if (!v.has_value() || v->empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    int out = std::stoi(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing chars");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Flags: --" + key + " expects an integer, got '" +
+                                *v + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& key, bool fallback) const {
+  auto v = get(key);
+  if (!v.has_value()) return fallback;
+  if (v->empty() || *v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("Flags: --" + key + " expects a boolean, got '" +
+                              *v + "'");
+}
+
+std::vector<std::string> Flags::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace vb

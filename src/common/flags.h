@@ -1,0 +1,41 @@
+// Minimal command-line flag parsing for the tools/ binaries.
+//
+// Accepts `--key=value`, `--key value`, and bare `--switch` forms.  No
+// global state: parse into a Flags object and query it.  Unknown-flag
+// detection is the caller's job via `keys()`.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vb {
+
+class Flags {
+ public:
+  /// Parses argv (excluding argv[0]).  Positional (non --) arguments are
+  /// collected in order.  Throws std::invalid_argument on malformed input
+  /// (e.g. "--=x").
+  static Flags parse(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+  /// Raw string value; empty string for bare switches.
+  std::optional<std::string> get(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vb

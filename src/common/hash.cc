@@ -1,0 +1,113 @@
+#include "common/hash.h"
+
+#include <bit>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace vb {
+
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 20> sha1(std::string_view data) {
+  std::uint32_t h0 = 0x67452301, h1 = 0xEFCDAB89, h2 = 0x98BADCFE,
+                h3 = 0x10325476, h4 = 0xC3D2E1F0;
+
+  // Pre-processing: append 0x80, pad with zeros, append 64-bit bit length.
+  std::vector<std::uint8_t> msg(data.begin(), data.end());
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(msg.size()) * 8;
+  msg.push_back(0x80);
+  while (msg.size() % 64 != 56) msg.push_back(0x00);
+  for (int i = 7; i >= 0; --i) {
+    msg.push_back(static_cast<std::uint8_t>(bit_len >> (8 * i)));
+  }
+
+  for (std::size_t chunk = 0; chunk < msg.size(); chunk += 64) {
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(msg[chunk + 4 * i]) << 24) |
+             (static_cast<std::uint32_t>(msg[chunk + 4 * i + 1]) << 16) |
+             (static_cast<std::uint32_t>(msg[chunk + 4 * i + 2]) << 8) |
+             static_cast<std::uint32_t>(msg[chunk + 4 * i + 3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+
+    std::uint32_t a = h0, b = h1, c = h2, d = h3, e = h4;
+    for (int i = 0; i < 80; ++i) {
+      std::uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5A827999;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDC;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6;
+      }
+      std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = rotl32(b, 30);
+      b = a;
+      a = tmp;
+    }
+    h0 += a;
+    h1 += b;
+    h2 += c;
+    h3 += d;
+    h4 += e;
+  }
+
+  std::array<std::uint8_t, 20> out{};
+  const std::uint32_t hs[5] = {h0, h1, h2, h3, h4};
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(hs[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(hs[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(hs[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(hs[i]);
+  }
+  return out;
+}
+
+U128 sha1_key(std::string_view data) {
+  auto d = sha1(data);
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | d[i];
+  for (int i = 8; i < 16; ++i) lo = (lo << 8) | d[i];
+  return U128{hi, lo};
+}
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+U128 fnv1a128(std::string_view data) {
+  std::uint64_t hi = fnv1a64(data);
+  std::string salted = std::string(data) + "\x01";
+  std::uint64_t lo = fnv1a64(salted);
+  return U128{hi, lo};
+}
+
+U128 scribe_group_id(std::string_view topic, std::string_view creator) {
+  std::string joined = std::string(topic) + "/" + std::string(creator);
+  return sha1_key(joined);
+}
+
+}  // namespace vb

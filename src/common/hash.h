@@ -1,0 +1,37 @@
+// Hashing utilities for key derivation.
+//
+// The paper derives Pastry keys by hashing textual names: a customer name
+// becomes hash("IBM"), a Scribe group id is "the hash of the group's textual
+// name concatenated with its creator's name" (§III.A.1).  We provide a
+// from-scratch SHA-1 (the hash FreePastry uses for ids) truncated to 128
+// bits, plus a fast FNV-1a for non-cryptographic uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/u128.h"
+
+namespace vb {
+
+/// Full 20-byte SHA-1 digest of `data`.  Implemented from scratch (FIPS
+/// 180-1); used only for stable key derivation, not security.
+std::array<std::uint8_t, 20> sha1(std::string_view data);
+
+/// First 128 bits of SHA-1(data), as a U128.  This is how all textual names
+/// (customers, Scribe topics) are mapped onto the Pastry id ring.
+U128 sha1_key(std::string_view data);
+
+/// 64-bit FNV-1a (fast, non-cryptographic).
+std::uint64_t fnv1a64(std::string_view data);
+
+/// 128 bits built from two independent FNV-1a passes; convenient for
+/// hash-mixing in tests and synthetic id generation.
+U128 fnv1a128(std::string_view data);
+
+/// Scribe group id: hash of the topic name concatenated with its creator's
+/// name, per §III.A.1 of the paper.
+U128 scribe_group_id(std::string_view topic, std::string_view creator);
+
+}  // namespace vb

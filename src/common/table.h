@@ -1,0 +1,29 @@
+// Minimal ASCII table / series printer for bench output.
+//
+// Every bench binary prints the same rows or series the paper's table/figure
+// reports; this helper keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vb {
+
+/// Column-aligned ASCII table.  Add a header once, then rows; `to_string`
+/// pads each column to its widest cell.
+class TextTable {
+ public:
+  void set_header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+  /// Convenience: formats a double with `prec` decimals.
+  static std::string num(double v, int prec = 3);
+  static std::string num(std::size_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vb

@@ -1,0 +1,65 @@
+#include "common/u128.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace vb {
+
+namespace {
+constexpr char kHexChars[] = "0123456789abcdef";
+}  // namespace
+
+std::string U128::to_hex() const {
+  std::string out(32, '0');
+  for (int i = 0; i < 32; ++i) out[i] = kHexChars[digit(i)];
+  return out;
+}
+
+std::string U128::short_hex(int digits) const {
+  std::string full = to_hex();
+  return full.substr(0, static_cast<std::size_t>(digits));
+}
+
+U128 U128::from_hex(std::string_view hex) {
+  if (hex.empty() || hex.size() > 32) {
+    throw std::invalid_argument("U128::from_hex: need 1..32 hex chars");
+  }
+  U128 out;
+  for (char c : hex) {
+    int v;
+    if (c >= '0' && c <= '9') {
+      v = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      v = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      v = c - 'A' + 10;
+    } else {
+      throw std::invalid_argument("U128::from_hex: invalid hex char");
+    }
+    out = (out << 4) | U128{static_cast<std::uint64_t>(v)};
+  }
+  return out;
+}
+
+int shared_prefix_digits(const U128& a, const U128& b) {
+  for (int i = 0; i < 32; ++i) {
+    if (a.digit(i) != b.digit(i)) return i;
+  }
+  return 32;
+}
+
+U128 ring_distance(const U128& a, const U128& b) {
+  U128 d1 = a - b;
+  U128 d2 = b - a;
+  return d1 < d2 ? d1 : d2;
+}
+
+bool closer_on_ring(const U128& key, const U128& candidate,
+                    const U128& incumbent) {
+  U128 dc = ring_distance(key, candidate);
+  U128 di = ring_distance(key, incumbent);
+  if (dc != di) return dc < di;
+  return candidate < incumbent;
+}
+
+}  // namespace vb

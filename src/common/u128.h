@@ -1,0 +1,130 @@
+// 128-bit unsigned integer used for Pastry node identifiers and keys.
+//
+// Pastry (Rowstron & Druschel, Middleware 2001) assigns every node a 128-bit
+// identifier interpreted as a sequence of digits in base 2^b (we use b = 4,
+// i.e. 32 hexadecimal digits), and routes by matching successively longer
+// digit prefixes.  This type provides exactly the operations the overlay
+// needs: total order, modular add/subtract (ring distance), digit extraction,
+// and common-prefix length.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace vb {
+
+/// Unsigned 128-bit integer stored as two 64-bit limbs (hi, lo).
+/// Value semantics, constexpr-friendly, totally ordered.
+class U128 {
+ public:
+  constexpr U128() = default;
+  constexpr U128(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+  /// Implicit widening from 64-bit values is intentional: keys are often
+  /// built from small literals in tests.
+  constexpr U128(std::uint64_t lo) : hi_(0), lo_(lo) {}  // NOLINT(google-explicit-constructor)
+
+  constexpr std::uint64_t hi() const { return hi_; }
+  constexpr std::uint64_t lo() const { return lo_; }
+
+  friend constexpr bool operator==(const U128&, const U128&) = default;
+  friend constexpr std::strong_ordering operator<=>(const U128& a,
+                                                    const U128& b) {
+    if (auto c = a.hi_ <=> b.hi_; c != 0) return c;
+    return a.lo_ <=> b.lo_;
+  }
+
+  /// Modular addition (wraps around 2^128, as on the Pastry ring).
+  friend constexpr U128 operator+(const U128& a, const U128& b) {
+    std::uint64_t lo = a.lo_ + b.lo_;
+    std::uint64_t carry = lo < a.lo_ ? 1 : 0;
+    return U128{a.hi_ + b.hi_ + carry, lo};
+  }
+
+  /// Modular subtraction (wraps around 2^128).
+  friend constexpr U128 operator-(const U128& a, const U128& b) {
+    std::uint64_t lo = a.lo_ - b.lo_;
+    std::uint64_t borrow = a.lo_ < b.lo_ ? 1 : 0;
+    return U128{a.hi_ - b.hi_ - borrow, lo};
+  }
+
+  friend constexpr U128 operator^(const U128& a, const U128& b) {
+    return U128{a.hi_ ^ b.hi_, a.lo_ ^ b.lo_};
+  }
+
+  friend constexpr U128 operator&(const U128& a, const U128& b) {
+    return U128{a.hi_ & b.hi_, a.lo_ & b.lo_};
+  }
+
+  friend constexpr U128 operator|(const U128& a, const U128& b) {
+    return U128{a.hi_ | b.hi_, a.lo_ | b.lo_};
+  }
+
+  friend constexpr U128 operator~(const U128& a) {
+    return U128{~a.hi_, ~a.lo_};
+  }
+
+  /// Logical left shift by `n` bits (0 <= n < 128).
+  friend constexpr U128 operator<<(const U128& a, int n) {
+    if (n == 0) return a;
+    if (n >= 64) return U128{a.lo_ << (n - 64), 0};
+    return U128{(a.hi_ << n) | (a.lo_ >> (64 - n)), a.lo_ << n};
+  }
+
+  /// Logical right shift by `n` bits (0 <= n < 128).
+  friend constexpr U128 operator>>(const U128& a, int n) {
+    if (n == 0) return a;
+    if (n >= 64) return U128{0, a.hi_ >> (n - 64)};
+    return U128{a.hi_ >> n, (a.lo_ >> n) | (a.hi_ << (64 - n))};
+  }
+
+  static constexpr U128 max() {
+    return U128{~std::uint64_t{0}, ~std::uint64_t{0}};
+  }
+
+  /// Value of the `i`-th base-16 digit, counting from the most significant
+  /// digit (i = 0) down to the least significant (i = 31).
+  constexpr int digit(int i) const {
+    std::uint64_t limb = i < 16 ? hi_ : lo_;
+    int pos = i % 16;  // digit index within the limb, MSB first
+    return static_cast<int>((limb >> (60 - 4 * pos)) & 0xF);
+  }
+
+  /// Returns a copy with the `i`-th hex digit (MSB-first) replaced by `v`.
+  constexpr U128 with_digit(int i, int v) const {
+    std::uint64_t mask = std::uint64_t{0xF} << (60 - 4 * (i % 16));
+    std::uint64_t val = static_cast<std::uint64_t>(v) << (60 - 4 * (i % 16));
+    if (i < 16) return U128{(hi_ & ~mask) | val, lo_};
+    return U128{hi_, (lo_ & ~mask) | val};
+  }
+
+  /// 32-character lowercase hexadecimal representation (MSB first).
+  std::string to_hex() const;
+
+  /// Short prefix (first `digits` hex chars) for log output.
+  std::string short_hex(int digits = 8) const;
+
+  /// Parses a 1..32-character hex string; missing high digits are zero.
+  static U128 from_hex(std::string_view hex);
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+/// Number of leading base-16 digits shared by `a` and `b` (0..32).
+/// This is Pastry's shl(a, b) — the routing-table row index.
+int shared_prefix_digits(const U128& a, const U128& b);
+
+/// Distance on the 2^128 ring: min(|a-b|, 2^128-|a-b|).  Used to find the
+/// numerically closest node to a key (Pastry's delivery rule and the choice
+/// of rendezvous roots in Scribe).
+U128 ring_distance(const U128& a, const U128& b);
+
+/// True if `candidate` is strictly closer to `key` than `incumbent` under
+/// ring distance, with ties broken toward the numerically smaller id so the
+/// "closest node" is always unique.
+bool closer_on_ring(const U128& key, const U128& candidate,
+                    const U128& incumbent);
+
+}  // namespace vb

@@ -1,0 +1,164 @@
+#include "hostmodel/host.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vb::host {
+
+Fleet::Fleet(int num_hosts, double nic_capacity_mbps, double cpu_capacity,
+             double mem_capacity_mb) {
+  if (num_hosts <= 0 || nic_capacity_mbps <= 0 || cpu_capacity <= 0 ||
+      mem_capacity_mb <= 0) {
+    throw std::invalid_argument("Fleet: invalid dimensions");
+  }
+  hosts_.reserve(static_cast<std::size_t>(num_hosts));
+  for (int h = 0; h < num_hosts; ++h) {
+    hosts_.emplace_back(h, nic_capacity_mbps, cpu_capacity, mem_capacity_mb);
+  }
+}
+
+VmId Fleet::create_vm(CustomerId customer, const VmSpec& spec) {
+  if (!spec.valid()) throw std::invalid_argument("Fleet: invalid VmSpec");
+  Vm v;
+  v.id = static_cast<VmId>(vms_.size());
+  v.customer = customer;
+  v.spec = spec;
+  vms_.push_back(v);
+  return v.id;
+}
+
+bool Fleet::place(VmId id, int h) {
+  Vm& v = vm(id);
+  if (v.host != -1) throw std::logic_error("Fleet::place: VM already placed");
+  Host& dst = host(h);
+  if (!dst.can_admit(v.spec)) return false;
+  dst.vms_.push_back(id);
+  dst.reserved_mbps_ += v.spec.reservation_mbps;
+  dst.reserved_cpu_ += v.spec.cpu_reservation;
+  dst.reserved_mem_mb_ += v.spec.ram_mb;
+  v.host = h;
+  return true;
+}
+
+void Fleet::unplace(VmId id) {
+  Vm& v = vm(id);
+  if (v.host == -1) throw std::logic_error("Fleet::unplace: VM not placed");
+  Host& src = host(v.host);
+  auto it = std::find(src.vms_.begin(), src.vms_.end(), id);
+  if (it == src.vms_.end()) {
+    throw std::logic_error("Fleet::unplace: host/vm bookkeeping mismatch");
+  }
+  src.vms_.erase(it);
+  src.reserved_mbps_ -= v.spec.reservation_mbps;
+  src.reserved_cpu_ -= v.spec.cpu_reservation;
+  src.reserved_mem_mb_ -= v.spec.ram_mb;
+  v.host = -1;
+}
+
+void Fleet::migrate(VmId id, int dst, bool consume_hold) {
+  Vm& v = vm(id);
+  unplace(id);
+  Host& d = host(dst);
+  if (consume_hold) {
+    // The receiver held the reservations when accepting the anycast query;
+    // placing the VM converts the hold into real reservations.
+    d.release_hold_all(v.spec);
+  }
+  d.vms_.push_back(id);
+  d.reserved_mbps_ += v.spec.reservation_mbps;
+  d.reserved_cpu_ += v.spec.cpu_reservation;
+  d.reserved_mem_mb_ += v.spec.ram_mb;
+  v.host = dst;
+  v.migrating = false;
+}
+
+void Fleet::destroy_vm(VmId id) {
+  Vm& v = vm(id);
+  if (v.destroyed) throw std::logic_error("Fleet::destroy_vm: already gone");
+  if (v.migrating) {
+    throw std::logic_error("Fleet::destroy_vm: migration in flight");
+  }
+  if (v.host != -1) unplace(id);
+  v.destroyed = true;
+  v.demand_mbps = 0.0;
+  v.cpu_demand = 0.0;
+}
+
+void Fleet::set_demand(VmId id, double mbps) {
+  if (mbps < 0) throw std::invalid_argument("Fleet::set_demand: negative");
+  vm(id).demand_mbps = mbps;
+}
+
+void Fleet::set_cpu_demand(VmId id, double units) {
+  if (units < 0) throw std::invalid_argument("Fleet::set_cpu_demand: negative");
+  vm(id).cpu_demand = units;
+}
+
+double Fleet::host_demand_mbps(int h) const {
+  double total = 0.0;
+  for (VmId id : host(h).vms()) total += vm(id).capped_demand();
+  return total;
+}
+
+double Fleet::host_utilization(int h) const {
+  return host_demand_mbps(h) / host(h).capacity_mbps();
+}
+
+double Fleet::host_cpu_demand(int h) const {
+  double total = 0.0;
+  for (VmId id : host(h).vms()) total += vm(id).capped_cpu_demand();
+  return total;
+}
+
+double Fleet::host_cpu_utilization(int h) const {
+  return host_cpu_demand(h) / host(h).cpu_capacity();
+}
+
+double Fleet::host_mem_utilization(int h) const {
+  double total = 0.0;
+  for (VmId id : host(h).vms()) total += vm(id).spec.ram_mb;
+  return total / host(h).mem_capacity_mb();
+}
+
+std::vector<std::pair<VmId, double>> Fleet::shape_host(int h) const {
+  const Host& hh = host(h);
+  std::vector<ShaperClass> classes;
+  classes.reserve(hh.vms().size());
+  for (VmId id : hh.vms()) {
+    const Vm& v = vm(id);
+    classes.push_back(ShaperClass{v.spec.reservation_mbps, v.spec.limit_mbps,
+                                  v.demand_mbps});
+  }
+  std::vector<double> alloc = shape(hh.capacity_mbps(), classes);
+  std::vector<std::pair<VmId, double>> out;
+  out.reserve(alloc.size());
+  for (std::size_t i = 0; i < alloc.size(); ++i) {
+    out.emplace_back(hh.vms()[i], alloc[i]);
+  }
+  return out;
+}
+
+double Fleet::total_satisfied_mbps() const {
+  double total = 0.0;
+  for (const Host& h : hosts_) {
+    for (const auto& [id, mbps] : shape_host(h.id())) total += mbps;
+  }
+  return total;
+}
+
+double Fleet::total_demand_mbps() const {
+  double total = 0.0;
+  for (const Vm& v : vms_) {
+    if (v.host != -1) total += v.capped_demand();
+  }
+  return total;
+}
+
+std::vector<double> Fleet::utilization_snapshot() const {
+  std::vector<double> out;
+  out.reserve(hosts_.size());
+  for (const Host& h : hosts_) out.push_back(host_utilization(h.id()));
+  return out;
+}
+
+}  // namespace vb::host

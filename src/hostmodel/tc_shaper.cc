@@ -1,0 +1,65 @@
+#include "hostmodel/tc_shaper.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace vb::host {
+
+std::vector<double> shape(double nic_capacity_mbps,
+                          const std::vector<ShaperClass>& classes) {
+  if (nic_capacity_mbps < 0) {
+    throw std::invalid_argument("shape: negative capacity");
+  }
+  std::vector<double> alloc(classes.size(), 0.0);
+
+  // Phase 1: guarantees.  Each class gets min(demand, rate); if the host is
+  // overbooked (sum of needed guarantees > capacity) scale proportionally.
+  double guaranteed_need = 0.0;
+  for (const ShaperClass& c : classes) {
+    if (c.rate_mbps < 0 || c.demand_mbps < 0 || c.ceil_mbps < c.rate_mbps) {
+      throw std::invalid_argument("shape: invalid class parameters");
+    }
+    guaranteed_need += std::min(c.demand_mbps, c.rate_mbps);
+  }
+  double scale = 1.0;
+  if (guaranteed_need > nic_capacity_mbps && guaranteed_need > 0) {
+    scale = nic_capacity_mbps / guaranteed_need;
+  }
+  double used = 0.0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    alloc[i] = std::min(classes[i].demand_mbps, classes[i].rate_mbps) * scale;
+    used += alloc[i];
+  }
+
+  // Phase 2: borrow.  Water-fill the surplus among classes still wanting
+  // more, capped by min(demand, ceil).
+  double surplus = nic_capacity_mbps - used;
+  constexpr double kEps = 1e-9;
+  while (surplus > kEps) {
+    // Find the hungriest classes and their smallest remaining headroom.
+    std::size_t hungry = 0;
+    double min_headroom = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      double cap = std::min(classes[i].demand_mbps, classes[i].ceil_mbps);
+      double headroom = cap - alloc[i];
+      if (headroom > kEps) {
+        ++hungry;
+        min_headroom = std::min(min_headroom, headroom);
+      }
+    }
+    if (hungry == 0) break;
+    double share = std::min(surplus / static_cast<double>(hungry), min_headroom);
+    if (share <= kEps) break;
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      double cap = std::min(classes[i].demand_mbps, classes[i].ceil_mbps);
+      if (cap - alloc[i] > kEps) {
+        alloc[i] += share;
+        surplus -= share;
+      }
+    }
+  }
+  return alloc;
+}
+
+}  // namespace vb::host

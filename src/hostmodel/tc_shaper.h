@@ -1,0 +1,36 @@
+// Linux-TC-like bandwidth shaper (§III.D implementation highlights).
+//
+// "v-Bundle uses control groups combined with Linux traffic shaping (TC) to
+// control the volume of traffic being sent ... v-Bundle uses TC to set rate
+// and ceil.  Rate means the guaranteed bandwidth available for a given VM
+// and ceil ... indicates the maximum bandwidth that VM is allowed to
+// consume."
+//
+// The shaper implements HTB borrow semantics at flow level:
+//  1. every class first receives min(demand, rate) — the guarantee;
+//  2. leftover NIC capacity is split max-min-fairly among classes whose
+//     demand exceeds their guarantee, capped at each class's ceil.
+#pragma once
+
+#include <vector>
+
+namespace vb::host {
+
+/// One shaped class (a VM's outbound traffic).
+struct ShaperClass {
+  double rate_mbps = 0.0;    ///< guaranteed bandwidth
+  double ceil_mbps = 0.0;    ///< maximum allowed bandwidth
+  double demand_mbps = 0.0;  ///< current offered load
+};
+
+/// Allocates `nic_capacity_mbps` across the classes per HTB semantics.
+/// Returns per-class allocation aligned with the input.
+///
+/// Precondition: ceil >= rate >= 0, demand >= 0 for every class.  The sum of
+/// rates may exceed capacity (an overbooked host); in that case guarantees
+/// are scaled proportionally — this mirrors what happens when an operator
+/// violates admission control, and is exercised in tests.
+std::vector<double> shape(double nic_capacity_mbps,
+                          const std::vector<ShaperClass>& classes);
+
+}  // namespace vb::host

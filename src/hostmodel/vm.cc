@@ -1,0 +1,16 @@
+#include "hostmodel/vm.h"
+
+#include <cstdio>
+
+namespace vb::host {
+
+std::string Vm::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "vm%d(cust=%d host=%d res=%.0f limit=%.0f demand=%.1f)", id,
+                customer, host, spec.reservation_mbps, spec.limit_mbps,
+                demand_mbps);
+  return buf;
+}
+
+}  // namespace vb::host

@@ -1,0 +1,111 @@
+#include "net/flow_allocator.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace vb::net {
+
+double Allocation::link_utilization(const Topology& topo, LinkId l) const {
+  double cap = topo.link_capacity_mbps(l);
+  return link_load_mbps.at(static_cast<std::size_t>(l)) / cap;
+}
+
+Allocation max_min_allocate(const Topology& topo,
+                            const std::vector<Flow>& flows) {
+  const int L = topo.num_links();
+  Allocation out;
+  out.rate_mbps.assign(flows.size(), 0.0);
+  out.link_load_mbps.assign(static_cast<std::size_t>(L), 0.0);
+
+  // Precompute paths and classify flows.
+  std::vector<std::vector<LinkId>> paths(flows.size());
+  std::vector<char> active(flows.size(), 0);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const Flow& fl = flows[f];
+    if (fl.demand_mbps < 0) {
+      throw std::invalid_argument("max_min_allocate: negative demand");
+    }
+    out.total_demand_mbps += fl.demand_mbps;
+    if (fl.demand_mbps == 0.0) continue;
+    if (fl.src == fl.dst) {
+      // Loopback traffic: full demand, no link usage.
+      out.rate_mbps[f] = fl.demand_mbps;
+      out.total_allocated_mbps += fl.demand_mbps;
+      continue;
+    }
+    paths[f] = topo.path(fl.src, fl.dst);
+    active[f] = 1;
+  }
+
+  std::vector<double> avail(static_cast<std::size_t>(L));
+  for (int l = 0; l < L; ++l) {
+    avail[static_cast<std::size_t>(l)] = topo.link_capacity_mbps(l);
+  }
+  std::vector<int> nflows(static_cast<std::size_t>(L), 0);
+
+  std::size_t remaining = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (!active[f]) continue;
+    ++remaining;
+    for (LinkId l : paths[f]) ++nflows[static_cast<std::size_t>(l)];
+  }
+
+  // Progressive filling.  Numerical epsilon guards against stalls from
+  // floating-point residue when a link is "almost" saturated.
+  constexpr double kEps = 1e-9;
+  while (remaining > 0) {
+    // Step size: the smallest of (a) remaining demand of any active flow and
+    // (b) equal-share headroom of any loaded link.
+    double inc = std::numeric_limits<double>::infinity();
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (!active[f]) continue;
+      inc = std::min(inc, flows[f].demand_mbps - out.rate_mbps[f]);
+    }
+    for (int l = 0; l < L; ++l) {
+      auto ul = static_cast<std::size_t>(l);
+      if (nflows[ul] > 0) {
+        inc = std::min(inc, avail[ul] / nflows[ul]);
+      }
+    }
+    if (inc < 0) inc = 0;
+
+    // Raise all active flows by `inc`.
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (!active[f]) continue;
+      out.rate_mbps[f] += inc;
+      for (LinkId l : paths[f]) avail[static_cast<std::size_t>(l)] -= inc;
+    }
+
+    // Freeze flows that reached demand or hit a saturated link.
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (!active[f]) continue;
+      bool done = out.rate_mbps[f] >= flows[f].demand_mbps - kEps;
+      if (!done) {
+        for (LinkId l : paths[f]) {
+          if (avail[static_cast<std::size_t>(l)] <= kEps) {
+            done = true;
+            break;
+          }
+        }
+      }
+      if (done) {
+        active[f] = 0;
+        --remaining;
+        for (LinkId l : paths[f]) --nflows[static_cast<std::size_t>(l)];
+      }
+    }
+  }
+
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (paths[f].empty()) continue;
+    for (LinkId l : paths[f]) {
+      out.link_load_mbps[static_cast<std::size_t>(l)] += out.rate_mbps[f];
+    }
+  }
+  out.total_allocated_mbps = 0.0;
+  for (double r : out.rate_mbps) out.total_allocated_mbps += r;
+  return out;
+}
+
+}  // namespace vb::net

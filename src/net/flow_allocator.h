@@ -1,0 +1,46 @@
+// Flow-level max-min fair bandwidth allocation.
+//
+// We model TCP sharing of the datacenter tree with the classic fluid
+// approximation: each flow gets its max-min fair rate subject to link
+// capacities and its own demand cap.  This is what turns a VM placement plus
+// a demand matrix into "satisfied bandwidth" (Fig. 11), SIP call failures
+// (Fig. 12), and uplink saturation (the motivation of §II).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace vb::net {
+
+/// One unidirectional traffic demand between two hosts.
+struct Flow {
+  HostId src = 0;
+  HostId dst = 0;
+  double demand_mbps = 0.0;
+};
+
+/// Result of a max-min allocation.
+struct Allocation {
+  /// Rate granted to each flow, aligned with the input vector.
+  std::vector<double> rate_mbps;
+  /// Load on every link (indexed by LinkId).
+  std::vector<double> link_load_mbps;
+  double total_demand_mbps = 0.0;
+  double total_allocated_mbps = 0.0;
+
+  /// Utilization of a link given the topology (load / capacity).
+  double link_utilization(const Topology& topo, LinkId l) const;
+};
+
+/// Computes the max-min fair allocation of `flows` over `topo` via
+/// progressive filling: all unfrozen flows are raised at the same rate; a
+/// flow freezes when it reaches its demand or when some link on its path
+/// saturates.  Intra-host flows (src == dst) are granted their full demand
+/// (they never touch the network).
+///
+/// Complexity: O(rounds * (F * pathlen + L)) where every round freezes at
+/// least one flow or link, so rounds <= F + L.
+Allocation max_min_allocate(const Topology& topo, const std::vector<Flow>& flows);
+
+}  // namespace vb::net

@@ -1,0 +1,61 @@
+#include "net/traffic_matrix.h"
+
+#include <algorithm>
+
+namespace vb::net {
+
+LocalityBreakdown locality_breakdown(const Topology& topo,
+                                     const std::vector<Flow>& flows) {
+  LocalityBreakdown b;
+  for (const Flow& f : flows) {
+    b.total_demand_mbps += f.demand_mbps;
+    switch (topo.proximity(f.src, f.dst)) {
+      case Proximity::kSameHost: b.same_host += f.demand_mbps; break;
+      case Proximity::kSameRack: b.same_rack += f.demand_mbps; break;
+      case Proximity::kSamePod: b.same_pod += f.demand_mbps; break;
+      case Proximity::kCrossPod: b.cross_pod += f.demand_mbps; break;
+    }
+  }
+  if (b.total_demand_mbps > 0) {
+    b.same_host /= b.total_demand_mbps;
+    b.same_rack /= b.total_demand_mbps;
+    b.same_pod /= b.total_demand_mbps;
+    b.cross_pod /= b.total_demand_mbps;
+  }
+  return b;
+}
+
+double offered_bisection_mbps(const Topology& topo,
+                              const std::vector<Flow>& flows) {
+  double total = 0.0;
+  for (const Flow& f : flows) {
+    Proximity p = topo.proximity(f.src, f.dst);
+    if (p == Proximity::kSamePod || p == Proximity::kCrossPod) {
+      total += f.demand_mbps;
+    }
+  }
+  return total;
+}
+
+double max_uplink_utilization(const Topology& topo, const Allocation& alloc) {
+  double worst = 0.0;
+  for (int l = 0; l < topo.num_links(); ++l) {
+    if (!topo.is_bisection_link(l)) continue;
+    worst = std::max(worst, alloc.link_utilization(topo, l));
+  }
+  return worst;
+}
+
+double mean_tor_uplink_utilization(const Topology& topo,
+                                   const Allocation& alloc) {
+  double sum = 0.0;
+  int n = 0;
+  for (int r = 0; r < topo.num_racks(); ++r) {
+    sum += alloc.link_utilization(topo, topo.tor_up(r));
+    sum += alloc.link_utilization(topo, topo.tor_down(r));
+    n += 2;
+  }
+  return n ? sum / n : 0.0;
+}
+
+}  // namespace vb::net

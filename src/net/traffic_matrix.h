@@ -1,0 +1,47 @@
+// Placement-quality metrics over a set of flows.
+//
+// §II argues that placing "chatting" VMs across racks saturates shared ToR
+// uplinks; the placement figures (7, 8a, 8b) are judged by how much
+// inter-VM traffic stays inside a server or rack.  These helpers compute
+// that locality breakdown and bi-section load for any flow set.
+#pragma once
+
+#include <vector>
+
+#include "net/flow_allocator.h"
+#include "net/topology.h"
+
+namespace vb::net {
+
+/// How a set of flows decomposes by proximity tier (fractions of total
+/// demand; they sum to 1 when total demand > 0).
+struct LocalityBreakdown {
+  double same_host = 0.0;
+  double same_rack = 0.0;
+  double same_pod = 0.0;
+  double cross_pod = 0.0;
+  double total_demand_mbps = 0.0;
+
+  /// Demand share that touches ToR uplinks at all (everything not local to
+  /// one host or one rack).
+  double cross_rack() const { return same_pod + cross_pod; }
+};
+
+/// Classifies every flow by the proximity of its endpoints.
+LocalityBreakdown locality_breakdown(const Topology& topo,
+                                     const std::vector<Flow>& flows);
+
+/// Demand that would cross rack boundaries (sum over flows whose endpoints
+/// are in different racks), i.e. offered bi-section load in Mbps.
+double offered_bisection_mbps(const Topology& topo,
+                              const std::vector<Flow>& flows);
+
+/// Highest uplink (ToR/agg) utilization under a computed allocation — the
+/// "hot bottleneck switch" indicator.
+double max_uplink_utilization(const Topology& topo, const Allocation& alloc);
+
+/// Mean utilization over all ToR uplinks under an allocation.
+double mean_tor_uplink_utilization(const Topology& topo,
+                                   const Allocation& alloc);
+
+}  // namespace vb::net

@@ -1,0 +1,62 @@
+// Message envelope types exchanged between Pastry nodes.
+//
+// Two delivery modes exist, matching the Pastry common API:
+//   * key-routed messages ("route to the node numerically closest to key"),
+//   * direct messages to a known NodeHandle (tree parent/child traffic,
+//     query replies, state exchange).
+//
+// Applications (Scribe, aggregation, v-Bundle) attach their own payloads by
+// deriving from Payload; the overlay never inspects payload contents.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/u128.h"
+#include "pastry/node_id.h"
+
+namespace vb::pastry {
+
+/// Accounting category, used to break per-host message overhead into
+/// "aggregation framework" vs "v-Bundle on top" (paper Fig. 15) plus overlay
+/// maintenance.
+enum class MsgCategory {
+  kOverlayMaintenance,  // join/leaf-set/routing-table upkeep
+  kScribeControl,       // group JOIN/LEAVE/heartbeat
+  kAggregation,         // aggregation tree updates & publishes
+  kVBundle,             // placement queries, load-balance anycast, acks
+  kApp,                 // everything else (examples/tests)
+};
+
+inline const char* to_string(MsgCategory c) {
+  switch (c) {
+    case MsgCategory::kOverlayMaintenance: return "overlay";
+    case MsgCategory::kScribeControl: return "scribe";
+    case MsgCategory::kAggregation: return "aggregation";
+    case MsgCategory::kVBundle: return "vbundle";
+    default: return "app";
+  }
+}
+
+/// Base class for application payloads.  Payloads are immutable once sent;
+/// the shared_ptr lets a multicast fan-out reference one copy.
+struct Payload {
+  virtual ~Payload() = default;
+  /// Approximate wire size in bytes, for KB/round accounting (Fig. 15).
+  virtual std::size_t wire_bytes() const { return 64; }
+  /// Debug name of the payload type.
+  virtual std::string name() const { return "payload"; }
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// A key-routed message in flight.
+struct RouteMsg {
+  U128 key;                 ///< destination key on the ring
+  PayloadPtr payload;
+  NodeHandle source;        ///< originating node
+  MsgCategory category = MsgCategory::kApp;
+  int hops = 0;             ///< hops taken so far
+};
+
+}  // namespace vb::pastry

@@ -1,0 +1,56 @@
+// Pastry neighbor set: the |M| nodes closest to the owner under the
+// *physical* proximity metric (not the id space).
+//
+// v-Bundle's placement algorithm leans on this set: when the server owning a
+// customer's key cannot host a new VM, "the query will be forwarded to its
+// neighbor set of servers ... closest according to the proximity metric"
+// (§II.B).  Within one proximity tier, nearer host indices are preferred so
+// spillover stays rack-local as long as possible.
+//
+// A pure nearest-M set degenerates in big racks: all M slots fill with
+// same-rack peers and a spillover search can never leave a full rack.  Real
+// proximity neighbor sets straddle tiers, so we reserve a small quota of
+// slots for nodes beyond the owner's rack (nearest such nodes first); the
+// rest hold the nearest rack-local peers.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+#include "pastry/node_id.h"
+
+namespace vb::pastry {
+
+class NeighborSet {
+ public:
+  /// `capacity` = |M| total slots; `remote_quota` of them are reserved for
+  /// nodes outside the owner's rack (clamped to capacity/2, min 1).
+  NeighborSet(net::HostId owner_host, int capacity = 16, int remote_quota = 4);
+
+  /// Considers a candidate; kept if among the nearest of its slot class.
+  /// Returns true if the set changed.
+  bool consider(const NodeHandle& candidate, const net::Topology& topo);
+
+  bool remove(const NodeHandle& node);
+
+  /// Members ordered nearest-first across both slot classes.
+  std::vector<NodeHandle> members() const;
+
+  bool contains(const NodeHandle& n) const;
+  std::size_t size() const { return local_.size() + remote_.size(); }
+
+ private:
+  /// Sort key: (proximity tier, |host index delta|) — deterministic and
+  /// topology-faithful.
+  long rank(const NodeHandle& n, const net::Topology& topo) const;
+  bool insert_ranked(std::vector<NodeHandle>& side, std::size_t cap,
+                     const NodeHandle& candidate, const net::Topology& topo);
+
+  net::HostId owner_host_;
+  std::size_t local_cap_;
+  std::size_t remote_cap_;
+  std::vector<NodeHandle> local_;   // same rack (or same host), nearest first
+  std::vector<NodeHandle> remote_;  // beyond the rack, nearest first
+};
+
+}  // namespace vb::pastry

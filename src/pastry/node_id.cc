@@ -1,0 +1,10 @@
+#include "pastry/node_id.h"
+
+namespace vb::pastry {
+
+std::string NodeHandle::to_string() const {
+  if (!valid()) return "<none>";
+  return id.short_hex(8) + "@h" + std::to_string(host);
+}
+
+}  // namespace vb::pastry

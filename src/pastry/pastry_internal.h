@@ -1,0 +1,69 @@
+// Internal payloads used by Pastry's own join and stabilization protocols.
+// Applications never see these: PastryNode consumes them before app upcalls.
+#pragma once
+
+#include <vector>
+
+#include "pastry/message.h"
+#include "pastry/node_id.h"
+
+namespace vb::pastry::internal {
+
+/// Routed toward the newcomer's id; every node on the path ships routing
+/// rows to the newcomer, and the delivery node ships its leaf set.
+struct JoinRequest : Payload {
+  NodeHandle newcomer;
+  std::size_t wire_bytes() const override { return 32; }
+  std::string name() const override { return "pastry.join"; }
+};
+
+/// Direct: rows of a routing table relevant to the newcomer.
+struct StateTransfer : Payload {
+  std::vector<NodeHandle> nodes;  // routing rows and/or leaf set members
+  bool from_delivery_node = false;  // true when sent by the closest node
+  std::size_t wire_bytes() const override { return 16 + 24 * nodes.size(); }
+  std::string name() const override { return "pastry.state"; }
+};
+
+/// Direct: newcomer announces itself after assembling its tables.
+struct Announce : Payload {
+  NodeHandle who;
+  std::size_t wire_bytes() const override { return 32; }
+  std::string name() const override { return "pastry.announce"; }
+};
+
+/// Direct: reply to an Announce or stabilization probe with our leaf set,
+/// so both sides converge on ring membership.
+struct LeafExchange : Payload {
+  std::vector<NodeHandle> leaves;
+  bool is_reply = false;
+  std::size_t wire_bytes() const override { return 16 + 24 * leaves.size(); }
+  std::string name() const override { return "pastry.leafx"; }
+};
+
+/// Direct: sender is leaving the overlay gracefully; purge it immediately
+/// instead of waiting for send-failure detection.
+struct Depart : Payload {
+  NodeHandle who;
+  std::size_t wire_bytes() const override { return 32; }
+  std::string name() const override { return "pastry.depart"; }
+};
+
+/// Direct: ask a peer for row `row` of its routing table (periodic
+/// routing-table maintenance; Pastry repairs holes by fetching rows from
+/// peers that share the corresponding prefix).
+struct RowRequest : Payload {
+  int row = 0;
+  std::size_t wire_bytes() const override { return 24; }
+  std::string name() const override { return "pastry.row_req"; }
+};
+
+/// Direct: the requested row's entries.
+struct RowReply : Payload {
+  int row = 0;
+  std::vector<NodeHandle> entries;
+  std::size_t wire_bytes() const override { return 24 + 24 * entries.size(); }
+  std::string name() const override { return "pastry.row_rep"; }
+};
+
+}  // namespace vb::pastry::internal

@@ -1,0 +1,237 @@
+#include "pastry/pastry_network.h"
+
+#include <stdexcept>
+
+namespace vb::pastry {
+
+std::uint64_t TrafficCounters::total_msgs() const {
+  std::uint64_t t = 0;
+  for (auto v : msgs_sent) t += v;
+  return t;
+}
+
+std::uint64_t TrafficCounters::total_bytes() const {
+  std::uint64_t t = 0;
+  for (auto v : bytes_sent) t += v;
+  return t;
+}
+
+void TrafficCounters::add(MsgCategory c, std::size_t bytes) {
+  auto i = static_cast<std::size_t>(c);
+  msgs_sent[i] += 1;
+  bytes_sent[i] += bytes;
+}
+
+void TrafficCounters::reset() {
+  msgs_sent.fill(0);
+  bytes_sent.fill(0);
+}
+
+PastryNetwork::PastryNetwork(sim::Simulator* simulator, const net::Topology* topo)
+    : sim_(simulator), topo_(topo) {
+  if (simulator == nullptr || topo == nullptr) {
+    throw std::invalid_argument("PastryNetwork: null simulator/topology");
+  }
+}
+
+PastryNetwork::Entry& PastryNetwork::entry_of(const U128& id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    throw std::out_of_range("PastryNetwork: unknown node " + id.short_hex());
+  }
+  return it->second;
+}
+
+PastryNode& PastryNetwork::add_node_oracle(const U128& id, net::HostId host) {
+  if (nodes_.contains(id)) {
+    throw std::invalid_argument("PastryNetwork: duplicate id " + id.short_hex());
+  }
+  Entry e;
+  e.node = std::make_unique<PastryNode>(NodeHandle{id, host}, this);
+  PastryNode& fresh = *e.node;
+  nodes_.emplace(id, std::move(e));
+  for (auto& [other_id, other] : nodes_) {
+    if (other_id == id || !other.alive) continue;
+    other.node->learn(fresh.handle());
+    fresh.learn(other.node->handle());
+  }
+  return fresh;
+}
+
+PastryNode& PastryNetwork::add_node_join(const U128& id, net::HostId host,
+                                         const NodeHandle& bootstrap) {
+  if (nodes_.contains(id)) {
+    throw std::invalid_argument("PastryNetwork: duplicate id " + id.short_hex());
+  }
+  Entry e;
+  e.node = std::make_unique<PastryNode>(NodeHandle{id, host}, this);
+  PastryNode& fresh = *e.node;
+  nodes_.emplace(id, std::move(e));
+  if (bootstrap.valid()) fresh.begin_join(bootstrap);
+  return fresh;
+}
+
+void PastryNetwork::kill_node(const U128& id) { entry_of(id).alive = false; }
+
+void PastryNetwork::depart_node(const U128& id) {
+  Entry& e = entry_of(id);
+  if (!e.alive) throw std::logic_error("depart_node: already dead");
+  e.node->announce_departure();
+  // Die after the farewells arrive (one worst-case hop plus slack).
+  double grace = 2.0 * topo_->latency_s(0, topo_->num_hosts() - 1) + 0.05;
+  sim_->schedule_in(grace, [this, id]() {
+    auto it = nodes_.find(id);
+    if (it != nodes_.end()) it->second.alive = false;
+  });
+}
+
+bool PastryNetwork::is_alive(const U128& id) const {
+  auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second.alive;
+}
+
+PastryNode* PastryNetwork::find(const U128& id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || !it->second.alive) return nullptr;
+  return it->second.node.get();
+}
+
+const PastryNode* PastryNetwork::find(const U128& id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || !it->second.alive) return nullptr;
+  return it->second.node.get();
+}
+
+PastryNode& PastryNetwork::at(const U128& id) {
+  PastryNode* n = find(id);
+  if (n == nullptr) {
+    throw std::out_of_range("PastryNetwork: no live node " + id.short_hex());
+  }
+  return *n;
+}
+
+std::vector<PastryNode*> PastryNetwork::nodes() {
+  std::vector<PastryNode*> out;
+  out.reserve(nodes_.size());
+  for (auto& [id, e] : nodes_) {
+    if (e.alive) out.push_back(e.node.get());
+  }
+  return out;
+}
+
+std::vector<const PastryNode*> PastryNetwork::nodes() const {
+  std::vector<const PastryNode*> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, e] : nodes_) {
+    if (e.alive) out.push_back(e.node.get());
+  }
+  return out;
+}
+
+std::size_t PastryNetwork::size() const {
+  std::size_t n = 0;
+  for (const auto& [id, e] : nodes_) n += e.alive ? 1 : 0;
+  return n;
+}
+
+NodeHandle PastryNetwork::global_closest(const U128& key) const {
+  NodeHandle best = kNoHandle;
+  for (const auto& [id, e] : nodes_) {
+    if (!e.alive) continue;
+    if (!best.valid() || closer_on_ring(key, id, best.id)) {
+      best = e.node->handle();
+    }
+  }
+  if (!best.valid()) throw std::logic_error("PastryNetwork: empty network");
+  return best;
+}
+
+void PastryNetwork::send_route(const NodeHandle& from, const NodeHandle& to,
+                               RouteMsg msg) {
+  entry_of(from.id).counters.add(msg.category,
+                                 msg.payload ? msg.payload->wire_bytes() : 16);
+  double lat = topo_->latency_s(from.host, to.host);
+  U128 from_id = from.id;
+  U128 to_id = to.id;
+  NodeHandle to_handle = to;
+  sim_->schedule_in(lat, [this, from_id, to_id, to_handle,
+                          m = std::move(msg)]() mutable {
+    auto it = nodes_.find(to_id);
+    if (it == nodes_.end() || !it->second.alive) {
+      // Destination dead: surface the failure to the sender after a
+      // timeout-like delay (one more latency unit).
+      auto sit = nodes_.find(from_id);
+      if (sit == nodes_.end() || !sit->second.alive) return;
+      sit->second.node->handle_send_failure(to_handle, &m);
+      return;
+    }
+    it->second.node->handle_route_msg(std::move(m));
+  });
+}
+
+void PastryNetwork::send_direct(const NodeHandle& from, const NodeHandle& to,
+                                PayloadPtr payload, MsgCategory category) {
+  entry_of(from.id).counters.add(category,
+                                 payload ? payload->wire_bytes() : 16);
+  double lat = topo_->latency_s(from.host, to.host);
+  U128 from_id = from.id;
+  U128 to_id = to.id;
+  NodeHandle from_handle = from;
+  NodeHandle to_handle = to;
+  sim_->schedule_in(lat, [this, from_id, to_id, from_handle, to_handle,
+                          p = std::move(payload), category]() {
+    auto it = nodes_.find(to_id);
+    if (it == nodes_.end() || !it->second.alive) {
+      auto sit = nodes_.find(from_id);
+      if (sit == nodes_.end() || !sit->second.alive) return;
+      sit->second.node->handle_send_failure(to_handle, nullptr);
+      return;
+    }
+    it->second.node->handle_direct_msg(from_handle, p, category);
+  });
+}
+
+const TrafficCounters& PastryNetwork::counters(const U128& id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    throw std::out_of_range("PastryNetwork: unknown node " + id.short_hex());
+  }
+  return it->second.counters;
+}
+
+std::vector<std::uint64_t> PastryNetwork::per_node_msgs() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, e] : nodes_) {
+    if (e.alive) out.push_back(e.counters.total_msgs());
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> PastryNetwork::per_node_bytes() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, e] : nodes_) {
+    if (e.alive) out.push_back(e.counters.total_bytes());
+  }
+  return out;
+}
+
+void PastryNetwork::reset_counters() {
+  for (auto& [id, e] : nodes_) e.counters.reset();
+}
+
+std::uint64_t PastryNetwork::total_msgs() const {
+  std::uint64_t t = 0;
+  for (const auto& [id, e] : nodes_) t += e.counters.total_msgs();
+  return t;
+}
+
+void PastryNetwork::stabilize_all() {
+  for (auto& [id, e] : nodes_) {
+    if (e.alive) {
+      e.node->stabilize();
+      e.node->maintain_routing_table();
+    }
+  }
+}
+
+}  // namespace vb::pastry

@@ -1,0 +1,112 @@
+// The collection of Pastry nodes plus the simulated transport between them.
+//
+// All inter-node traffic flows through send_route / send_direct, which
+// schedule delivery on the discrete-event simulator with a latency from the
+// datacenter topology and charge per-sender message/byte counters (the raw
+// data behind the paper's Fig. 15 overhead CDFs).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/topology.h"
+#include "pastry/pastry_node.h"
+#include "sim/simulator.h"
+
+namespace vb::pastry {
+
+/// Per-node traffic counters, split by message category.
+struct TrafficCounters {
+  static constexpr int kCategories = 5;
+  std::array<std::uint64_t, kCategories> msgs_sent{};
+  std::array<std::uint64_t, kCategories> bytes_sent{};
+
+  std::uint64_t total_msgs() const;
+  std::uint64_t total_bytes() const;
+  void add(MsgCategory c, std::size_t bytes);
+  void reset();
+};
+
+class PastryNetwork {
+ public:
+  /// The network borrows the simulator and topology; both must outlive it.
+  PastryNetwork(sim::Simulator* simulator, const net::Topology* topo);
+
+  /// Creates a node and instantly bootstraps its tables from the global
+  /// view ("oracle" bootstrap — used by large benches where the paper also
+  /// starts from an already-formed FreePastry ring).
+  PastryNode& add_node_oracle(const U128& id, net::HostId host);
+
+  /// Creates a node empty and runs the real message-based join protocol
+  /// through `bootstrap`.  Caller runs the simulator to completion (or for
+  /// long enough) before relying on the node's tables.
+  PastryNode& add_node_join(const U128& id, net::HostId host,
+                            const NodeHandle& bootstrap);
+
+  /// Marks a node dead.  In-flight and future messages to it trigger the
+  /// sender's failure handling (purge + reroute), like a TCP timeout would.
+  void kill_node(const U128& id);
+
+  /// Graceful departure: the node announces itself to all peers (they purge
+  /// it eagerly) and dies once the farewell messages have had time to
+  /// arrive (one cross-pod latency later, on the simulator).
+  void depart_node(const U128& id);
+
+  bool is_alive(const U128& id) const;
+  PastryNode* find(const U128& id);
+  const PastryNode* find(const U128& id) const;
+  PastryNode& at(const U128& id);
+
+  /// Live nodes in id order.
+  std::vector<PastryNode*> nodes();
+  std::vector<const PastryNode*> nodes() const;
+  std::size_t size() const;
+
+  /// Ground truth: the live node whose id is numerically closest to `key`
+  /// (what correct routing must converge to).  Network must be non-empty.
+  NodeHandle global_closest(const U128& key) const;
+
+  // --- transport (used by PastryNode) -----------------------------------
+  void send_route(const NodeHandle& from, const NodeHandle& to, RouteMsg msg);
+  void send_direct(const NodeHandle& from, const NodeHandle& to,
+                   PayloadPtr payload, MsgCategory category);
+
+  // --- instrumentation ---------------------------------------------------
+  const TrafficCounters& counters(const U128& id) const;
+  /// Snapshot of total messages sent per live node (Fig. 15 input).
+  std::vector<std::uint64_t> per_node_msgs() const;
+  std::vector<std::uint64_t> per_node_bytes() const;
+  void reset_counters();
+  std::uint64_t total_msgs() const;
+
+  /// Number of hops the most recent delivered route took (test aid):
+  /// updated by PastryNode on delivery.
+  void note_delivery_hops(int hops) { last_delivery_hops_ = hops; }
+  int last_delivery_hops() const { return last_delivery_hops_; }
+
+  sim::Simulator& simulator() { return *sim_; }
+  const net::Topology& topology() const { return *topo_; }
+
+  /// Runs one stabilization round on every live node (benches call this
+  /// between protocol phases to mimic Pastry's periodic maintenance).
+  void stabilize_all();
+
+ private:
+  struct Entry {
+    std::unique_ptr<PastryNode> node;
+    TrafficCounters counters;
+    bool alive = true;
+  };
+
+  Entry& entry_of(const U128& id);
+
+  sim::Simulator* sim_;
+  const net::Topology* topo_;
+  std::map<U128, Entry> nodes_;  // ordered: gives ring order for oracle ops
+  int last_delivery_hops_ = 0;
+};
+
+}  // namespace vb::pastry

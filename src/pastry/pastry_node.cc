@@ -1,0 +1,263 @@
+#include "pastry/pastry_node.h"
+
+#include <algorithm>
+
+#include "pastry/pastry_internal.h"
+#include "pastry/pastry_network.h"
+
+namespace vb::pastry {
+
+PastryNode::PastryNode(NodeHandle handle, PastryNetwork* network, int leaf_half,
+                       int neighbor_capacity)
+    : handle_(handle),
+      network_(network),
+      table_(handle.id),
+      leafs_(handle.id, leaf_half),
+      neighbors_(handle.host, neighbor_capacity) {}
+
+void PastryNode::add_app(PastryApp* app) { apps_.push_back(app); }
+
+int PastryNode::proximity_to(const NodeHandle& n) const {
+  return static_cast<int>(network_->topology().proximity(handle_.host, n.host));
+}
+
+void PastryNode::route(const U128& key, PayloadPtr payload,
+                       MsgCategory category) {
+  RouteMsg msg;
+  msg.key = key;
+  msg.payload = std::move(payload);
+  msg.source = handle_;
+  msg.category = category;
+  msg.hops = 0;
+  handle_route_msg(std::move(msg));
+}
+
+void PastryNode::send_direct(const NodeHandle& dest, PayloadPtr payload,
+                             MsgCategory category) {
+  network_->send_direct(handle_, dest, std::move(payload), category);
+}
+
+NodeHandle PastryNode::next_hop(const U128& key) const {
+  if (key == handle_.id) return handle_;
+
+  // Rule 1: the leaf set covers the key -> the numerically closest member
+  // (possibly ourselves) is the destination.
+  if (leafs_.covers(key)) return leafs_.closest(key, handle_);
+
+  // Rule 2: routing table cell for (shared prefix length, next digit).
+  int row = shared_prefix_digits(handle_.id, key);
+  int col = key.digit(row);
+  if (auto entry = table_.lookup(row, col); entry.has_value()) return *entry;
+
+  // Rule 3 (rare case): any known node that shares at least as long a prefix
+  // with the key and is numerically closer to it than we are.
+  NodeHandle best = handle_;
+  auto try_candidate = [&](const NodeHandle& n) {
+    if (shared_prefix_digits(n.id, key) >= row &&
+        closer_on_ring(key, n.id, best.id)) {
+      best = n;
+    }
+  };
+  for (const NodeHandle& n : leafs_.members()) try_candidate(n);
+  for (const NodeHandle& n : table_.all_entries()) try_candidate(n);
+  for (const NodeHandle& n : neighbors_.members()) try_candidate(n);
+  return best;
+}
+
+void PastryNode::learn(const NodeHandle& node) {
+  if (node.id == handle_.id || !node.valid()) return;
+  int prox = proximity_to(node);
+  table_.consider(node, prox);
+  leafs_.consider(node);
+  neighbors_.consider(node, network_->topology());
+}
+
+void PastryNode::purge(const NodeHandle& node) {
+  bool known = false;
+  known |= table_.remove(node);
+  known |= leafs_.remove(node);
+  known |= neighbors_.remove(node);
+  if (known) {
+    for (PastryApp* app : apps_) app->on_node_failed(*this, node);
+  }
+}
+
+void PastryNode::begin_join(const NodeHandle& bootstrap) {
+  learn(bootstrap);
+  auto req = std::make_shared<internal::JoinRequest>();
+  req->newcomer = handle_;
+  RouteMsg msg;
+  msg.key = handle_.id;
+  msg.payload = std::move(req);
+  msg.source = handle_;
+  msg.category = MsgCategory::kOverlayMaintenance;
+  msg.hops = 1;
+  network_->send_route(handle_, bootstrap, std::move(msg));
+}
+
+void PastryNode::stabilize() {
+  auto send_exchange = [this](const NodeHandle& to) {
+    if (!to.valid()) return;
+    auto x = std::make_shared<internal::LeafExchange>();
+    x->leaves = leafs_.members();
+    x->leaves.push_back(handle_);
+    x->is_reply = false;
+    send_direct(to, std::move(x), MsgCategory::kOverlayMaintenance);
+  };
+  send_exchange(leafs_.farthest_cw());
+  send_exchange(leafs_.farthest_ccw());
+}
+
+void PastryNode::announce_departure() {
+  auto bye = std::make_shared<internal::Depart>();
+  bye->who = handle_;
+  std::vector<U128> notified;
+  auto notify = [&](const NodeHandle& n) {
+    if (std::find(notified.begin(), notified.end(), n.id) != notified.end()) {
+      return;
+    }
+    notified.push_back(n.id);
+    send_direct(n, bye, MsgCategory::kOverlayMaintenance);
+  };
+  for (const NodeHandle& n : leafs_.members()) notify(n);
+  for (const NodeHandle& n : table_.all_entries()) notify(n);
+  for (const NodeHandle& n : neighbors_.members()) notify(n);
+}
+
+void PastryNode::maintain_routing_table() {
+  // Scan forward from the last maintained row to the next row that has at
+  // least one entry, and ask one of its members for its version of the row.
+  for (int probe = 0; probe < kIdDigits; ++probe) {
+    int row = (next_maintenance_row_ + probe) % kIdDigits;
+    auto entries = table_.row_entries(row);
+    if (entries.empty()) continue;
+    auto req = std::make_shared<internal::RowRequest>();
+    req->row = row;
+    // Deterministic pick: rotate through the row's entries over rounds.
+    const NodeHandle& peer =
+        entries[static_cast<std::size_t>(next_maintenance_row_) % entries.size()];
+    send_direct(peer, std::move(req), MsgCategory::kOverlayMaintenance);
+    next_maintenance_row_ = row + 1;
+    return;
+  }
+}
+
+void PastryNode::handle_route_msg(RouteMsg msg) {
+  // Pastry-internal join handling happens before any app sees the message.
+  auto join = std::dynamic_pointer_cast<const internal::JoinRequest>(msg.payload);
+  if (join && join->newcomer.id != handle_.id) {
+    // Ship the routing rows the newcomer can reuse: rows 0..p where p is the
+    // length of the prefix we share with it.
+    auto state = std::make_shared<internal::StateTransfer>();
+    int p = shared_prefix_digits(handle_.id, join->newcomer.id);
+    for (int r = 0; r <= p && r < kIdDigits; ++r) {
+      auto row = table_.row_entries(r);
+      state->nodes.insert(state->nodes.end(), row.begin(), row.end());
+    }
+    state->nodes.push_back(handle_);
+    send_direct(join->newcomer, state, MsgCategory::kOverlayMaintenance);
+  }
+
+  NodeHandle next = next_hop(msg.key);
+  if (next == handle_) {
+    if (join) {
+      if (join->newcomer.id == handle_.id) return;  // our own join looped back
+      // We are the numerically closest node: ship our leaf set, which seeds
+      // the newcomer's leaf set (Pastry join, step 3).
+      auto state = std::make_shared<internal::StateTransfer>();
+      state->nodes = leafs_.members();
+      state->nodes.push_back(handle_);
+      state->from_delivery_node = true;
+      send_direct(join->newcomer, state, MsgCategory::kOverlayMaintenance);
+      return;
+    }
+    network_->note_delivery_hops(msg.hops);
+    for (PastryApp* app : apps_) app->deliver(*this, msg);
+    return;
+  }
+
+  if (!join) {
+    for (PastryApp* app : apps_) {
+      if (!app->forward(*this, msg, next)) return;  // absorbed by the app
+    }
+  }
+  msg.hops += 1;
+  network_->send_route(handle_, next, std::move(msg));
+}
+
+void PastryNode::handle_direct_msg(const NodeHandle& from,
+                                   const PayloadPtr& payload,
+                                   MsgCategory category) {
+  if (auto st = std::dynamic_pointer_cast<const internal::StateTransfer>(payload)) {
+    for (const NodeHandle& n : st->nodes) learn(n);
+    learn(from);
+    if (st->from_delivery_node) {
+      // Leaf set received: announce ourselves to everyone we now know.
+      auto ann = std::make_shared<internal::Announce>();
+      ann->who = handle_;
+      std::vector<NodeHandle> known = table_.all_entries();
+      auto lm = leafs_.members();
+      known.insert(known.end(), lm.begin(), lm.end());
+      std::vector<U128> seen;
+      for (const NodeHandle& n : known) {
+        if (std::find(seen.begin(), seen.end(), n.id) != seen.end()) continue;
+        seen.push_back(n.id);
+        send_direct(n, ann, MsgCategory::kOverlayMaintenance);
+      }
+    }
+    return;
+  }
+  if (auto ann = std::dynamic_pointer_cast<const internal::Announce>(payload)) {
+    bool was_leaf_candidate = leafs_.covers(ann->who.id);
+    learn(ann->who);
+    if (was_leaf_candidate) {
+      // Give the newcomer our neighborhood so its leaf set converges.
+      auto x = std::make_shared<internal::LeafExchange>();
+      x->leaves = leafs_.members();
+      x->leaves.push_back(handle_);
+      x->is_reply = true;
+      send_direct(ann->who, std::move(x), MsgCategory::kOverlayMaintenance);
+    }
+    return;
+  }
+  if (auto lx = std::dynamic_pointer_cast<const internal::LeafExchange>(payload)) {
+    for (const NodeHandle& n : lx->leaves) learn(n);
+    learn(from);
+    if (!lx->is_reply) {
+      auto x = std::make_shared<internal::LeafExchange>();
+      x->leaves = leafs_.members();
+      x->leaves.push_back(handle_);
+      x->is_reply = true;
+      send_direct(from, std::move(x), MsgCategory::kOverlayMaintenance);
+    }
+    return;
+  }
+  if (auto bye = std::dynamic_pointer_cast<const internal::Depart>(payload)) {
+    purge(bye->who);
+    return;
+  }
+  if (auto req = std::dynamic_pointer_cast<const internal::RowRequest>(payload)) {
+    auto rep = std::make_shared<internal::RowReply>();
+    rep->row = req->row;
+    rep->entries = table_.row_entries(req->row);
+    rep->entries.push_back(handle_);
+    send_direct(from, std::move(rep), MsgCategory::kOverlayMaintenance);
+    return;
+  }
+  if (auto rep = std::dynamic_pointer_cast<const internal::RowReply>(payload)) {
+    for (const NodeHandle& n : rep->entries) learn(n);
+    return;
+  }
+  for (PastryApp* app : apps_) app->receive_direct(*this, from, payload, category);
+}
+
+void PastryNode::handle_send_failure(const NodeHandle& dead,
+                                     RouteMsg* undelivered) {
+  purge(dead);
+  if (undelivered != nullptr) {
+    // Reroute around the failure with our repaired tables.
+    handle_route_msg(std::move(*undelivered));
+  }
+}
+
+}  // namespace vb::pastry

@@ -1,0 +1,125 @@
+// A single Pastry overlay node (one per physical server, per the paper).
+//
+// Implements prefix routing with the three classic rules (leaf set, routing
+// table, rare-case fallback), the join protocol (state harvested from nodes
+// along the join route plus the numerically closest node's leaf set), and
+// eager repair on send failures.  Applications layer on top through the
+// PastryApp interface (Scribe is the main client).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pastry/leaf_set.h"
+#include "pastry/message.h"
+#include "pastry/neighbor_set.h"
+#include "pastry/node_id.h"
+#include "pastry/routing_table.h"
+
+namespace vb::pastry {
+
+class PastryNetwork;
+class PastryNode;
+
+/// Upcall interface for overlay applications (the Pastry "common API").
+class PastryApp {
+ public:
+  virtual ~PastryApp() = default;
+
+  /// Message arrived at the node numerically closest to its key.
+  virtual void deliver(PastryNode& self, const RouteMsg& msg) = 0;
+
+  /// Message is about to be forwarded to `next`.  Return false to absorb it
+  /// (Scribe intercepts JOINs this way).  May mutate the message.
+  virtual bool forward(PastryNode& self, RouteMsg& msg, const NodeHandle& next) {
+    (void)self; (void)msg; (void)next;
+    return true;
+  }
+
+  /// Point-to-point payload addressed to this node (tree edges, replies).
+  virtual void receive_direct(PastryNode& self, const NodeHandle& from,
+                              const PayloadPtr& payload, MsgCategory category) {
+    (void)self; (void)from; (void)payload; (void)category;
+  }
+
+  /// A peer was detected dead (send failure) and purged from our tables.
+  virtual void on_node_failed(PastryNode& self, const NodeHandle& failed) {
+    (void)self; (void)failed;
+  }
+};
+
+class PastryNode {
+ public:
+  PastryNode(NodeHandle handle, PastryNetwork* network, int leaf_half = 8,
+             int neighbor_capacity = 16);
+
+  PastryNode(const PastryNode&) = delete;
+  PastryNode& operator=(const PastryNode&) = delete;
+
+  const NodeHandle& handle() const { return handle_; }
+  const U128& id() const { return handle_.id; }
+  net::HostId host() const { return handle_.host; }
+
+  /// Registers an application for upcalls.  Not owned; must outlive node.
+  void add_app(PastryApp* app);
+
+  /// Routes `payload` toward `key` starting from this node.
+  void route(const U128& key, PayloadPtr payload,
+             MsgCategory category = MsgCategory::kApp);
+
+  /// Sends `payload` directly to `dest` (no routing).
+  void send_direct(const NodeHandle& dest, PayloadPtr payload,
+                   MsgCategory category = MsgCategory::kApp);
+
+  /// Chooses the next hop for `key`: self if we are the closest known node.
+  NodeHandle next_hop(const U128& key) const;
+
+  /// Incorporates knowledge of another live node into all three tables.
+  void learn(const NodeHandle& node);
+
+  /// Purges a failed node from all tables and notifies apps.
+  void purge(const NodeHandle& node);
+
+  /// Starts the message-based join through `bootstrap` (must be live).
+  /// State arrives asynchronously; run the simulator to complete it.
+  void begin_join(const NodeHandle& bootstrap);
+
+  /// One round of leaf-set stabilization: exchange leaf sets with the two
+  /// extreme leaves.  Cheap, idempotent; benches call it periodically.
+  void stabilize();
+
+  /// One round of routing-table maintenance: fetches one row (round-robin)
+  /// from a peer in that row, refreshing entries and filling holes left by
+  /// failures.  Classic Pastry periodic repair.
+  void maintain_routing_table();
+
+  /// Graceful departure: notifies every known peer so they purge us
+  /// immediately (and Scribe re-homes orphaned tree edges) without waiting
+  /// for timeout-based failure detection.  The caller kills the node once
+  /// the notifications have drained (PastryNetwork::depart_node does both).
+  void announce_departure();
+
+  // --- internal plumbing, called by PastryNetwork -----------------------
+  void handle_route_msg(RouteMsg msg);
+  void handle_direct_msg(const NodeHandle& from, const PayloadPtr& payload,
+                         MsgCategory category);
+  void handle_send_failure(const NodeHandle& dead, RouteMsg* undelivered);
+
+  const LeafSet& leaf_set() const { return leafs_; }
+  const RoutingTable& routing_table() const { return table_; }
+  const NeighborSet& neighbor_set() const { return neighbors_; }
+  PastryNetwork& network() { return *network_; }
+
+ private:
+  int proximity_to(const NodeHandle& n) const;
+
+  NodeHandle handle_;
+  PastryNetwork* network_;
+  int next_maintenance_row_ = 0;
+  RoutingTable table_;
+  LeafSet leafs_;
+  NeighborSet neighbors_;
+  std::vector<PastryApp*> apps_;
+};
+
+}  // namespace vb::pastry

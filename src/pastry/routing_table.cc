@@ -1,0 +1,73 @@
+#include "pastry/routing_table.h"
+
+namespace vb::pastry {
+
+RoutingTable::RoutingTable(const U128& owner)
+    : owner_(owner),
+      cells_(static_cast<std::size_t>(kIdDigits) * kIdBase) {}
+
+bool RoutingTable::consider(const NodeHandle& candidate, int proximity) {
+  if (candidate.id == owner_) return false;
+  int row = shared_prefix_digits(owner_, candidate.id);
+  // row == kIdDigits would mean identical ids, excluded above.
+  int col = candidate.id.digit(row);
+  auto& cell = cells_[static_cast<std::size_t>(cell_index(row, col))];
+  if (!cell.has_value()) {
+    cell = RouteEntry{candidate, proximity};
+    ++populated_;
+    return true;
+  }
+  if (cell->node == candidate) {
+    if (proximity < cell->proximity) {
+      cell->proximity = proximity;
+      return true;
+    }
+    return false;
+  }
+  if (proximity < cell->proximity) {
+    cell = RouteEntry{candidate, proximity};
+    return true;
+  }
+  return false;
+}
+
+bool RoutingTable::remove(const NodeHandle& node) {
+  if (node.id == owner_) return false;
+  int row = shared_prefix_digits(owner_, node.id);
+  int col = node.id.digit(row);
+  auto& cell = cells_[static_cast<std::size_t>(cell_index(row, col))];
+  if (cell.has_value() && cell->node == node) {
+    cell.reset();
+    --populated_;
+    return true;
+  }
+  return false;
+}
+
+std::optional<NodeHandle> RoutingTable::lookup(int row, int col) const {
+  if (row < 0 || row >= kIdDigits || col < 0 || col >= kIdBase) return std::nullopt;
+  const auto& cell = cells_[static_cast<std::size_t>(cell_index(row, col))];
+  if (!cell.has_value()) return std::nullopt;
+  return cell->node;
+}
+
+std::vector<NodeHandle> RoutingTable::all_entries() const {
+  std::vector<NodeHandle> out;
+  out.reserve(populated_);
+  for (const auto& cell : cells_) {
+    if (cell.has_value()) out.push_back(cell->node);
+  }
+  return out;
+}
+
+std::vector<NodeHandle> RoutingTable::row_entries(int row) const {
+  std::vector<NodeHandle> out;
+  if (row < 0 || row >= kIdDigits) return out;
+  for (int col = 0; col < kIdBase; ++col) {
+    const auto& cell = cells_[static_cast<std::size_t>(cell_index(row, col))];
+    if (cell.has_value()) out.push_back(cell->node);
+  }
+  return out;
+}
+
+}  // namespace vb::pastry

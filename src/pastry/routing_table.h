@@ -1,0 +1,61 @@
+// Pastry routing table: rows by common-prefix length, columns by next digit.
+//
+// Row r holds nodes whose ids share exactly r leading digits with the local
+// id; column c within row r holds a node whose (r+1)-th digit is c.  When two
+// candidates fit one cell, Pastry keeps the one closer under the proximity
+// metric — this locality choice is what later gives Scribe anycast its
+// "reaches a member near the sender" property (§III.A.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pastry/node_id.h"
+
+namespace vb::pastry {
+
+/// One routing-table cell: the remembered peer and its proximity to us.
+struct RouteEntry {
+  NodeHandle node;
+  int proximity = 0;  // net::Proximity as int; smaller is closer
+};
+
+class RoutingTable {
+ public:
+  /// `owner` is the local node id; entries are indexed relative to it.
+  explicit RoutingTable(const U128& owner);
+
+  /// Considers `candidate` for the table.  Replaces an existing entry only
+  /// if the candidate is strictly closer by proximity.  Self and exact
+  /// duplicates are ignored.  Returns true if the table changed.
+  bool consider(const NodeHandle& candidate, int proximity);
+
+  /// Removes a (presumed failed) node wherever it appears.
+  /// Returns true if found.
+  bool remove(const NodeHandle& node);
+
+  /// Entry for routing a message whose key shares `row` digits with the
+  /// owner and whose next digit is `col`; nullopt if the cell is empty.
+  std::optional<NodeHandle> lookup(int row, int col) const;
+
+  /// All distinct nodes currently in the table.
+  std::vector<NodeHandle> all_entries() const;
+
+  /// Entries of one row (used by the join protocol: nodes along the join
+  /// path ship row prefixes to the newcomer).
+  std::vector<NodeHandle> row_entries(int row) const;
+
+  /// Number of populated cells.
+  std::size_t size() const { return populated_; }
+
+  const U128& owner() const { return owner_; }
+
+ private:
+  int cell_index(int row, int col) const { return row * kIdBase + col; }
+
+  U128 owner_;
+  std::vector<std::optional<RouteEntry>> cells_;
+  std::size_t populated_ = 0;
+};
+
+}  // namespace vb::pastry

@@ -1,0 +1,138 @@
+// Wire payloads of the Scribe layer.
+#pragma once
+
+#include <vector>
+
+#include "pastry/message.h"
+#include "pastry/node_id.h"
+
+namespace vb::scribe {
+
+using GroupId = U128;
+
+/// Routed toward the groupId.  `joiner` is rewritten at every hop that
+/// grafts itself into the tree, so each tree edge connects consecutive
+/// nodes on the join route (classic Scribe tree construction).
+struct JoinMsg : pastry::Payload {
+  GroupId group;
+  pastry::NodeHandle joiner;
+  std::size_t wire_bytes() const override { return 48; }
+  std::string name() const override { return "scribe.join"; }
+};
+
+/// Routed toward the groupId; the delivery node becomes the tree root
+/// (rendezvous point).
+struct CreateMsg : pastry::Payload {
+  GroupId group;
+  pastry::NodeHandle creator;
+  std::size_t wire_bytes() const override { return 48; }
+  std::string name() const override { return "scribe.create"; }
+};
+
+/// Direct child -> parent keepalive.  Detects dead parents (the send fails,
+/// triggering rejoin) and heals missing child edges on the parent side.
+struct HeartbeatMsg : pastry::Payload {
+  GroupId group;
+  pastry::NodeHandle child;
+  std::size_t wire_bytes() const override { return 48; }
+  std::string name() const override { return "scribe.heartbeat"; }
+};
+
+/// Direct parent -> child: "I am not in that tree"; the child must rejoin.
+struct HeartbeatNackMsg : pastry::Payload {
+  GroupId group;
+  std::size_t wire_bytes() const override { return 32; }
+  std::string name() const override { return "scribe.heartbeat_nack"; }
+};
+
+/// Direct (ex-)parent -> child: the parent lost its own path to the root,
+/// so the subtree dissolves and every member rejoins independently.  This
+/// prevents a detached subtree's rejoin from grafting onto one of its own
+/// descendants (which would form a cycle).
+struct ParentResetMsg : pastry::Payload {
+  GroupId group;
+  std::size_t wire_bytes() const override { return 32; }
+  std::string name() const override { return "scribe.parent_reset"; }
+};
+
+/// Direct to the parent: prune this edge.
+struct LeaveMsg : pastry::Payload {
+  GroupId group;
+  pastry::NodeHandle child;
+  std::size_t wire_bytes() const override { return 48; }
+  std::string name() const override { return "scribe.leave"; }
+};
+
+/// Routed toward the groupId to reach the root, which then disseminates.
+struct MulticastMsg : pastry::Payload {
+  GroupId group;
+  pastry::PayloadPtr inner;
+  pastry::MsgCategory inner_category = pastry::MsgCategory::kApp;
+  std::size_t wire_bytes() const override {
+    return 32 + (inner ? inner->wire_bytes() : 0);
+  }
+  std::string name() const override { return "scribe.multicast"; }
+};
+
+/// Direct, root-to-leaves along tree edges.
+struct DisseminateMsg : pastry::Payload {
+  GroupId group;
+  pastry::PayloadPtr inner;
+  pastry::MsgCategory inner_category = pastry::MsgCategory::kApp;
+  std::size_t wire_bytes() const override {
+    return 32 + (inner ? inner->wire_bytes() : 0);
+  }
+  std::string name() const override { return "scribe.disseminate"; }
+};
+
+/// Routed toward the groupId until it meets the tree, then converted into a
+/// depth-first WalkMsg.
+struct AnycastMsg : pastry::Payload {
+  GroupId group;
+  pastry::PayloadPtr inner;
+  pastry::NodeHandle origin;
+  pastry::MsgCategory inner_category = pastry::MsgCategory::kApp;
+  std::size_t wire_bytes() const override {
+    return 48 + (inner ? inner->wire_bytes() : 0);
+  }
+  std::string name() const override { return "scribe.anycast"; }
+};
+
+/// Traveling DFS token for anycast: carries the to-visit stack and visited
+/// set.  Children are pushed farthest-from-origin first so the nearest
+/// candidate is visited next (v-Bundle's proximity preference, §III.C).
+struct WalkMsg : pastry::Payload {
+  GroupId group;
+  pastry::PayloadPtr inner;
+  pastry::NodeHandle origin;
+  pastry::MsgCategory inner_category = pastry::MsgCategory::kApp;
+  std::vector<pastry::NodeHandle> stack;
+  std::vector<U128> visited;
+  int nodes_visited = 0;
+  std::size_t wire_bytes() const override {
+    return 64 + 24 * stack.size() + 16 * visited.size() +
+           (inner ? inner->wire_bytes() : 0);
+  }
+  std::string name() const override { return "scribe.walk"; }
+};
+
+/// Direct to the anycast origin: a member accepted.
+struct AnycastAcceptedMsg : pastry::Payload {
+  GroupId group;
+  pastry::PayloadPtr inner;
+  pastry::NodeHandle acceptor;
+  int nodes_visited = 0;
+  std::size_t wire_bytes() const override { return 64; }
+  std::string name() const override { return "scribe.anycast_ok"; }
+};
+
+/// Direct to the anycast origin: the whole tree was walked, nobody accepted.
+struct AnycastFailedMsg : pastry::Payload {
+  GroupId group;
+  pastry::PayloadPtr inner;
+  int nodes_visited = 0;
+  std::size_t wire_bytes() const override { return 48; }
+  std::string name() const override { return "scribe.anycast_fail"; }
+};
+
+}  // namespace vb::scribe

@@ -1,0 +1,26 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace vb::sim {
+
+void EventQueue::push(SimTime t, std::function<void()> action) {
+  heap_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+SimTime EventQueue::next_time() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+  // priority_queue::top returns const&; move out via const_cast is the
+  // standard idiom but UB-adjacent — copy the small struct instead.  The
+  // std::function copy is cheap relative to simulation work per event.
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace vb::sim

@@ -1,0 +1,57 @@
+// Priority queue of timestamped events for the discrete-event simulator.
+//
+// Events with equal timestamps fire in insertion order (FIFO), which keeps
+// simulations deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace vb::sim {
+
+/// Simulated time in seconds.  Double precision is ample: the longest
+/// experiment in the paper runs 75 simulated minutes, far below the ~2^53
+/// representable integer seconds.
+using SimTime = double;
+
+/// One scheduled callback.
+struct Event {
+  SimTime time;
+  std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+  std::function<void()> action;
+};
+
+/// Min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  /// Enqueues `action` to fire at absolute time `t`.
+  void push(SimTime t, std::function<void()> action);
+
+  /// True if no events remain.
+  bool empty() const { return heap_.empty(); }
+
+  std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the earliest event; queue must be non-empty.
+  SimTime next_time() const;
+
+  /// Removes and returns the earliest event; queue must be non-empty.
+  Event pop();
+
+  /// Total number of events ever enqueued (for overhead accounting).
+  std::uint64_t total_pushed() const { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace vb::sim

@@ -1,0 +1,57 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace vb::sim {
+
+void Simulator::schedule_in(SimTime delay, std::function<void()> action) {
+  if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
+  queue_.push(now_ + delay, std::move(action));
+}
+
+void Simulator::schedule_at(SimTime t, std::function<void()> action) {
+  if (t < now_) throw std::invalid_argument("Simulator: schedule in the past");
+  queue_.push(t, std::move(action));
+}
+
+void Simulator::schedule_periodic(SimTime phase, SimTime period,
+                                  std::function<bool()> action, SimTime until) {
+  if (period <= 0) throw std::invalid_argument("Simulator: period <= 0");
+  SimTime first = now_ + phase;
+  if (first >= until) return;
+  // The recurring closure owns the user action and re-arms itself.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, until, action = std::move(action), tick]() {
+    if (!action()) return;  // action asked to stop
+    SimTime next = now_ + period;
+    if (next < until) queue_.push(next, *tick);
+  };
+  queue_.push(first, *tick);
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    Event e = queue_.pop();
+    now_ = e.time;
+    ++executed_;
+    e.action();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::run_to_completion() {
+  while (step()) {
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event e = queue_.pop();
+  now_ = e.time;
+  ++executed_;
+  e.action();
+  return true;
+}
+
+}  // namespace vb::sim

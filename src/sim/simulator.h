@@ -1,0 +1,67 @@
+// Discrete-event simulator driving all protocol activity.
+//
+// Every Pastry/Scribe message, aggregation round, shedder query, and VM
+// migration in this repository is an event on this clock, so experiment
+// timelines (Figs. 10-12) and latencies (Fig. 14) are measured in simulated
+// time and are bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.h"
+
+namespace vb::sim {
+
+/// Single-threaded discrete-event simulator.
+///
+/// Usage:
+///   Simulator s;
+///   s.schedule_in(0.5, [] { ... });
+///   s.run_until(60.0);
+class Simulator {
+ public:
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` `delay` seconds from now (delay >= 0).
+  void schedule_in(SimTime delay, std::function<void()> action);
+
+  /// Schedules `action` at absolute time `t` (t >= now()).
+  void schedule_at(SimTime t, std::function<void()> action);
+
+  /// Schedules `action` every `period` seconds, starting at now()+`phase`.
+  /// The task reschedules itself until `until` (exclusive) or forever if
+  /// `until` is infinity.  Returns nothing; cancellation is by the action
+  /// itself returning false.
+  void schedule_periodic(SimTime phase, SimTime period,
+                         std::function<bool()> action,
+                         SimTime until = std::numeric_limits<SimTime>::infinity());
+
+  /// Runs events until the queue drains or simulated time would exceed `t`.
+  /// Afterwards now() == min(t, drain time).  Events at exactly `t` run.
+  void run_until(SimTime t);
+
+  /// Runs until the event queue is empty.
+  void run_to_completion();
+
+  /// Executes exactly one event if any is pending; returns false otherwise.
+  bool step();
+
+  /// True if no events are pending.
+  bool idle() const { return queue_.empty(); }
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events ever scheduled.
+  std::uint64_t events_scheduled() const { return queue_.total_pushed(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace vb::sim

@@ -1,0 +1,195 @@
+#include "vbundle/cloud.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace vb::core {
+
+VBundleCloud::VBundleCloud(CloudConfig cfg)
+    : cfg_(cfg), topo_(cfg.topology), topics_(Topics::standard()) {
+  fleet_ = std::make_unique<host::Fleet>(
+      topo_.num_hosts(), topo_.config().host_nic_mbps, cfg_.host_cpu_capacity,
+      cfg_.host_mem_capacity_mb);
+  pastry_ = std::make_unique<pastry::PastryNetwork>(&sim_, &topo_);
+
+  // Assign server ids per policy and bring up the overlay.
+  std::vector<U128> ids(static_cast<std::size_t>(topo_.num_hosts()));
+  if (cfg_.id_policy == IdPolicy::kTopologyAware) {
+    TopologyAwareIdAssigner assigner(topo_, cfg_.seed);
+    for (int h = 0; h < topo_.num_hosts(); ++h) {
+      ids[static_cast<std::size_t>(h)] = assigner.id_for_host(h);
+    }
+  } else {
+    RandomIdAssigner assigner(topo_, cfg_.seed);
+    for (int h = 0; h < topo_.num_hosts(); ++h) {
+      ids[static_cast<std::size_t>(h)] = assigner.id_for_host(h);
+    }
+  }
+  if (cfg_.protocol_join) {
+    pastry::NodeHandle bootstrap = pastry::kNoHandle;
+    for (int h = 0; h < topo_.num_hosts(); ++h) {
+      pastry::PastryNode& n =
+          pastry_->add_node_join(ids[static_cast<std::size_t>(h)], h, bootstrap);
+      // Let each join finish before the next node enters (sequential
+      // bring-up, as a real deployment rollout would).
+      sim_.run_to_completion();
+      if (!bootstrap.valid()) bootstrap = n.handle();
+    }
+    // A few stabilization rounds tighten leaf sets after mass arrival.
+    for (int round = 0; round < 3; ++round) {
+      pastry_->stabilize_all();
+      sim_.run_to_completion();
+    }
+  } else {
+    for (int h = 0; h < topo_.num_hosts(); ++h) {
+      pastry_->add_node_oracle(ids[static_cast<std::size_t>(h)], h);
+    }
+  }
+
+  scribe_ = std::make_unique<scribe::ScribeNetwork>(pastry_.get());
+  migration_ =
+      std::make_unique<MigrationManager>(&sim_, fleet_.get(), cfg_.vbundle.migration);
+
+  directory_.resize(static_cast<std::size_t>(topo_.num_hosts()), nullptr);
+  for (pastry::PastryNode* n : pastry_->nodes()) {
+    scribe::ScribeNode& sn = scribe_->at(n->id());
+    agg_agents_.push_back(std::make_unique<agg::AggregationAgent>(
+        &sn, agg::PropagationMode::kPeriodic));
+    owned_agents_.push_back(std::make_unique<VBundleAgent>(
+        n, &sn, agg_agents_.back().get(), fleet_.get(), migration_.get(),
+        &directory_, &cfg_.vbundle, topics_));
+    directory_[static_cast<std::size_t>(n->host())] = owned_agents_.back().get();
+  }
+  for (auto& a : owned_agents_) a->start();
+  // Settle the aggregation-tree joins before user activity begins.
+  sim_.run_to_completion();
+}
+
+host::CustomerId VBundleCloud::add_customer(const std::string& name) {
+  customers_.push_back(name);
+  customer_keys_.push_back(sha1_key(name));
+  return static_cast<host::CustomerId>(customers_.size()) - 1;
+}
+
+const std::string& VBundleCloud::customer_name(host::CustomerId c) const {
+  return customers_.at(static_cast<std::size_t>(c));
+}
+
+U128 VBundleCloud::customer_key(host::CustomerId c) const {
+  return customer_keys_.at(static_cast<std::size_t>(c));
+}
+
+VBundleCloud::BootResult VBundleCloud::boot_vm(host::CustomerId c,
+                                               const host::VmSpec& spec) {
+  return boot_near_key(c, spec, customer_key(c));
+}
+
+VBundleCloud::BootResult VBundleCloud::boot_vm_tagged(host::CustomerId c,
+                                                      const host::VmSpec& spec,
+                                                      const std::string& tag) {
+  return boot_near_key(c, spec, sha1_key(tag));
+}
+
+VBundleCloud::BootResult VBundleCloud::boot_near_key(host::CustomerId c,
+                                                     const host::VmSpec& spec,
+                                                     const U128& key) {
+  host::VmId vm = fleet_->create_vm(c, spec);
+  BootResult result;
+  result.vm = vm;
+  bool done = false;
+  // Gateway: the front-end forwards boot requests into the overlay from a
+  // deterministic entry server — the next live one in round-robin order.
+  int n = topo_.num_hosts();
+  int gw = static_cast<int>(vm) % n;
+  for (int probe = 0; probe < n; ++probe) {
+    int h = (gw + probe) % n;
+    if (pastry_->is_alive(directory_[static_cast<std::size_t>(h)]->node().id())) {
+      gw = h;
+      break;
+    }
+    if (probe == n - 1) throw std::runtime_error("boot_vm: no live gateway");
+  }
+  VBundleAgent& gateway = agent(gw);
+  gateway.request_boot(key, vm, spec, c,
+                       [&result, &done](host::VmId id, int h, int visits) {
+                         result.vm = id;
+                         result.host = h;
+                         result.visits = visits;
+                         result.ok = h >= 0;
+                         done = true;
+                       });
+  // Drive the simulator until the protocol completes.
+  std::uint64_t guard = 0;
+  while (!done && sim_.step()) {
+    if (++guard > 50'000'000ULL) {
+      throw std::runtime_error("boot_vm: placement protocol did not finish");
+    }
+  }
+  if (!done) throw std::runtime_error("boot_vm: simulator drained early");
+  return result;
+}
+
+std::vector<VBundleCloud::BootResult> VBundleCloud::boot_vms(
+    host::CustomerId c, const host::VmSpec& spec, int count) {
+  std::vector<BootResult> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(boot_vm(c, spec));
+  return out;
+}
+
+void VBundleCloud::attach_demand_model(const load::DemandModel* model,
+                                       double apply_interval_s) {
+  if (model == nullptr) {
+    throw std::invalid_argument("attach_demand_model: null model");
+  }
+  sim_.schedule_periodic(0.0, apply_interval_s, [this, model]() {
+    model->apply(*fleet_, sim_.now());
+    return true;
+  });
+}
+
+void VBundleCloud::start_rebalancing(double update_phase_s,
+                                     double rebalance_phase_s) {
+  for (std::size_t i = 0; i < owned_agents_.size(); ++i) {
+    VBundleAgent* a = owned_agents_[i].get();
+    // Small per-host stagger: servers are not clock-synchronized.
+    double jitter = static_cast<double>(i % 100) * 0.013;
+    sim_.schedule_periodic(update_phase_s + jitter,
+                           cfg_.vbundle.update_interval_s, [a]() {
+                             a->update_tick();
+                             return true;
+                           });
+    sim_.schedule_periodic(rebalance_phase_s + jitter,
+                           cfg_.vbundle.rebalance_interval_s, [a]() {
+                             a->rebalance_tick();
+                             return true;
+                           });
+    // Overlay upkeep per update interval: Pastry leaf-set stabilization and
+    // Scribe tree heartbeats (self-organizing, self-repairing trees).
+    pastry::PastryNode* node = &a->node();
+    scribe::ScribeNode* sn = &scribe_->at(node->id());
+    sim_.schedule_periodic(update_phase_s + jitter + 1.0,
+                           cfg_.vbundle.update_interval_s, [node, sn]() {
+                             node->stabilize();
+                             node->maintain_routing_table();
+                             sn->maintenance();
+                             return true;
+                           });
+  }
+}
+
+double VBundleCloud::utilization_stddev() const {
+  return summarize(fleet_->utilization_snapshot()).stddev;
+}
+
+int VBundleCloud::overloaded_servers(double threshold) const {
+  int n = 0;
+  for (double u : fleet_->utilization_snapshot()) {
+    if (u > threshold) ++n;
+  }
+  return n;
+}
+
+}  // namespace vb::core

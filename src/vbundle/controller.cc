@@ -1,0 +1,80 @@
+// Wiring of VBundleAgent: construction, app registration, and dispatch of
+// routed/direct payloads to the placement and shuffling halves.
+#include <stdexcept>
+
+#include "pastry/pastry_network.h"
+#include "vbundle/controller.h"
+
+namespace vb::core {
+
+VBundleAgent::VBundleAgent(pastry::PastryNode* node, scribe::ScribeNode* scribe,
+                           agg::AggregationAgent* aggregation,
+                           host::Fleet* fleet, MigrationManager* migration,
+                           const AgentDirectory* directory,
+                           const VBundleConfig* cfg, Topics topics)
+    : node_(node),
+      scribe_(scribe),
+      agg_(aggregation),
+      fleet_(fleet),
+      migration_(migration),
+      directory_(directory),
+      cfg_(cfg),
+      topics_(topics) {
+  if (node == nullptr || scribe == nullptr || aggregation == nullptr ||
+      fleet == nullptr || migration == nullptr || directory == nullptr ||
+      cfg == nullptr) {
+    throw std::invalid_argument("VBundleAgent: null dependency");
+  }
+  node_->add_app(this);
+  scribe_->add_app(this);
+  agg_->add_listener(this);
+}
+
+void VBundleAgent::start() {
+  agg_->subscribe(topics_.bw_capacity);
+  agg_->subscribe(topics_.bw_demand);
+  if (cfg_->balance_cpu) {
+    agg_->subscribe(topics_.cpu_capacity);
+    agg_->subscribe(topics_.cpu_demand);
+  }
+}
+
+void VBundleAgent::deliver(pastry::PastryNode& self,
+                           const pastry::RouteMsg& msg) {
+  (void)self;
+  if (auto q = std::dynamic_pointer_cast<const BootQueryMsg>(msg.payload)) {
+    handle_boot_query(*q);
+    return;
+  }
+}
+
+void VBundleAgent::receive_direct(pastry::PastryNode& self,
+                                  const pastry::NodeHandle& from,
+                                  const pastry::PayloadPtr& payload,
+                                  pastry::MsgCategory category) {
+  (void)self;
+  (void)from;
+  (void)category;
+  if (auto walk = std::dynamic_pointer_cast<const PlacementWalkMsg>(payload)) {
+    handle_placement_walk(*walk);
+    return;
+  }
+  if (auto ack = std::dynamic_pointer_cast<const BootAckMsg>(payload)) {
+    auto it = pending_boots_.find(ack->vm);
+    if (it == pending_boots_.end()) return;
+    BootCallback cb = std::move(it->second);
+    pending_boots_.erase(it);
+    if (cb) cb(ack->vm, ack->server.host, ack->visits);
+    return;
+  }
+  if (auto nack = std::dynamic_pointer_cast<const BootNackMsg>(payload)) {
+    auto it = pending_boots_.find(nack->vm);
+    if (it == pending_boots_.end()) return;
+    BootCallback cb = std::move(it->second);
+    pending_boots_.erase(it);
+    if (cb) cb(nack->vm, -1, nack->visits);
+    return;
+  }
+}
+
+}  // namespace vb::core

@@ -1,0 +1,65 @@
+#include "vbundle/metrics.h"
+
+#include <algorithm>
+#include <set>
+
+namespace vb::core {
+
+PlacementFootprint placement_footprint(const net::Topology& topo,
+                                       const host::Fleet& fleet,
+                                       const std::vector<host::VmId>& vms) {
+  PlacementFootprint fp;
+  std::set<int> hosts;
+  std::set<int> pods;
+  for (host::VmId v : vms) {
+    int h = fleet.vm(v).host;
+    if (h < 0) continue;
+    ++fp.vms;
+    hosts.insert(h);
+    pods.insert(topo.pod_of(h));
+    fp.per_rack[topo.rack_of(h)] += 1;
+  }
+  fp.hosts_used = static_cast<int>(hosts.size());
+  fp.pods_used = static_cast<int>(pods.size());
+  fp.racks_used = static_cast<int>(fp.per_rack.size());
+  int peak = 0;
+  for (const auto& [rack, count] : fp.per_rack) peak = std::max(peak, count);
+  fp.max_rack_share = fp.vms > 0 ? static_cast<double>(peak) / fp.vms : 0.0;
+  return fp;
+}
+
+int UtilizationReport::hosts_over_mean_plus(double threshold) const {
+  int n = 0;
+  for (double u : snapshot) {
+    if (u > summary.mean + threshold) ++n;
+  }
+  return n;
+}
+
+UtilizationReport utilization_report(const host::Fleet& fleet) {
+  UtilizationReport r;
+  r.snapshot = fleet.utilization_snapshot();
+  r.summary = summarize(r.snapshot);
+  return r;
+}
+
+SatisfactionReport satisfaction_report(const host::Fleet& fleet) {
+  SatisfactionReport r;
+  r.demand_mbps = fleet.total_demand_mbps();
+  r.satisfied_mbps = fleet.total_satisfied_mbps();
+  return r;
+}
+
+std::vector<host::VmId> starved_vms(const host::Fleet& fleet, double fraction) {
+  std::vector<host::VmId> out;
+  for (int h = 0; h < fleet.num_hosts(); ++h) {
+    for (const auto& [vm, granted] : fleet.shape_host(h)) {
+      double want = fleet.vm(vm).capped_demand();
+      if (want > 0 && granted < fraction * want) out.push_back(vm);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vb::core

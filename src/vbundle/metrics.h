@@ -1,0 +1,63 @@
+// Experiment/operations metrics over a cloud's state.
+//
+// These are the standard summaries the paper's evaluation reads off its
+// figures — placement footprints (Figs. 7-8), utilization balance
+// (Figs. 9-10), and demand satisfaction (Fig. 11) — packaged as library
+// calls so operators and benches compute them identically.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/stats.h"
+#include "hostmodel/host.h"
+#include "net/topology.h"
+
+namespace vb::core {
+
+/// Where one customer's (or group's) VMs physically live.
+struct PlacementFootprint {
+  int vms = 0;
+  int hosts_used = 0;
+  int racks_used = 0;
+  int pods_used = 0;
+  /// Largest fraction of the VMs concentrated in a single rack.
+  double max_rack_share = 0.0;
+  /// VMs per rack (only racks with at least one VM).
+  std::map<int, int> per_rack;
+};
+
+/// Computes the footprint of `vms` (unplaced VMs are skipped).
+PlacementFootprint placement_footprint(const net::Topology& topo,
+                                       const host::Fleet& fleet,
+                                       const std::vector<host::VmId>& vms);
+
+/// Balance view of per-host bandwidth utilization (Fig. 9/10 metrics).
+struct UtilizationReport {
+  Summary summary;                ///< mean/SD/min/max over hosts
+  int hosts_over_mean_plus(double threshold) const;
+  std::vector<double> snapshot;   ///< per-host utilization
+};
+
+UtilizationReport utilization_report(const host::Fleet& fleet);
+
+/// Demand-vs-satisfied view (Fig. 11 metrics).
+struct SatisfactionReport {
+  double demand_mbps = 0.0;
+  double satisfied_mbps = 0.0;
+  double gap_mbps() const { return demand_mbps - satisfied_mbps; }
+  /// Fraction of offered demand actually carried (satisfied/demand;
+  /// defined as 1.0 when there is no demand).
+  double satisfaction() const {
+    return demand_mbps > 0 ? satisfied_mbps / demand_mbps : 1.0;
+  }
+};
+
+SatisfactionReport satisfaction_report(const host::Fleet& fleet);
+
+/// Per-VM starvation: VMs receiving less than `fraction` of their
+/// limit-capped demand under the TC shaper.
+std::vector<host::VmId> starved_vms(const host::Fleet& fleet,
+                                    double fraction = 0.999);
+
+}  // namespace vb::core

@@ -1,0 +1,51 @@
+#include "vbundle/migration.h"
+
+#include <stdexcept>
+
+namespace vb::core {
+
+MigrationManager::MigrationManager(sim::Simulator* sim, host::Fleet* fleet,
+                                   MigrationConfig cfg)
+    : sim_(sim), fleet_(fleet), cfg_(cfg) {
+  if (sim == nullptr || fleet == nullptr) {
+    throw std::invalid_argument("MigrationManager: null dependency");
+  }
+  if (cfg.rate_mbps <= 0 || cfg.downtime_s < 0) {
+    throw std::invalid_argument("MigrationManager: bad config");
+  }
+}
+
+double MigrationManager::duration_s(const host::Vm& vm) const {
+  double megabits = vm.spec.ram_mb * 8.0;
+  return megabits / cfg_.rate_mbps + cfg_.downtime_s;
+}
+
+bool MigrationManager::worth_migrating(const host::Vm& vm,
+                                       double deficit_mbps) const {
+  if (cfg_.cost_factor <= 0.0) return true;
+  double benefit = deficit_mbps * cfg_.stability_window_s;  // megabits gained
+  double cost = vm.spec.ram_mb * 8.0;                       // megabits moved
+  return benefit >= cfg_.cost_factor * cost;
+}
+
+sim::SimTime MigrationManager::start(host::VmId vm, int dst_host,
+                                     std::function<void(host::VmId, int)> on_done) {
+  host::Vm& v = fleet_->vm(vm);
+  if (v.host == -1) throw std::logic_error("MigrationManager: VM not placed");
+  if (v.migrating) throw std::logic_error("MigrationManager: already migrating");
+  v.migrating = true;
+  double dur = duration_s(v);
+  ++started_;
+  total_downtime_s_ += cfg_.downtime_s;
+  total_megabits_ += v.spec.ram_mb * 8.0;
+  sim::SimTime done_at = sim_->now() + dur;
+  sim_->schedule_at(done_at, [this, vm, dst_host, cb = std::move(on_done)]() {
+    // Cutover: the receiver's hold becomes the real reservation.
+    fleet_->migrate(vm, dst_host, /*consume_hold=*/true);
+    ++completed_;
+    if (cb) cb(vm, dst_host);
+  });
+  return done_at;
+}
+
+}  // namespace vb::core

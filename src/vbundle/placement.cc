@@ -1,0 +1,115 @@
+// Placement half of VBundleAgent (§II.B): key-routed boot queries with
+// proximity-ordered neighbor-set spillover.
+#include <algorithm>
+
+#include "pastry/pastry_network.h"
+#include "vbundle/controller.h"
+
+namespace vb::core {
+
+using pastry::MsgCategory;
+using pastry::NodeHandle;
+
+void VBundleAgent::request_boot(const U128& customer_key, host::VmId vm,
+                                const host::VmSpec& spec,
+                                host::CustomerId customer, BootCallback cb) {
+  pending_boots_[vm] = std::move(cb);
+  auto q = std::make_shared<BootQueryMsg>();
+  q->vm = vm;
+  q->spec = spec;
+  q->customer = customer;
+  q->requester = node_->handle();
+  node_->route(customer_key, std::move(q), MsgCategory::kVBundle);
+}
+
+bool VBundleAgent::try_host_locally(host::VmId vm) {
+  return fleet_->place(vm, node_->host());
+}
+
+void VBundleAgent::seed_frontier(PlacementWalkMsg& walk) const {
+  // The neighbor set is already ordered nearest-first (§II.B: "the neighbor
+  // set M contains ... |M| nodes that are closest according to the
+  // proximity metric").
+  for (const NodeHandle& n : node_->neighbor_set().members()) {
+    walk.frontier.push_back(n);
+  }
+}
+
+void VBundleAgent::handle_boot_query(const BootQueryMsg& q) {
+  if (try_host_locally(q.vm)) {
+    auto ack = std::make_shared<BootAckMsg>();
+    ack->vm = q.vm;
+    ack->server = node_->handle();
+    ack->visits = 1;
+    node_->send_direct(q.requester, std::move(ack), MsgCategory::kVBundle);
+    return;
+  }
+  // Key owner is full: spill over the proximity neighbor set.
+  auto walk = std::make_shared<PlacementWalkMsg>();
+  walk->vm = q.vm;
+  walk->spec = q.spec;
+  walk->customer = q.customer;
+  walk->requester = q.requester;
+  walk->anchor = node_->handle();
+  walk->visited.push_back(node_->id());
+  walk->visits = 1;
+  walk->max_visits = cfg_->max_placement_visits;
+  seed_frontier(*walk);
+  continue_walk(std::move(walk));
+}
+
+void VBundleAgent::handle_placement_walk(const PlacementWalkMsg& msg) {
+  auto walk = std::make_shared<PlacementWalkMsg>(msg);
+  walk->visited.push_back(node_->id());
+  walk->visits += 1;
+  if (try_host_locally(walk->vm)) {
+    auto ack = std::make_shared<BootAckMsg>();
+    ack->vm = walk->vm;
+    ack->server = node_->handle();
+    ack->visits = walk->visits;
+    node_->send_direct(walk->requester, std::move(ack), MsgCategory::kVBundle);
+    return;
+  }
+  // Merge our neighbor set into the frontier, keeping it ordered by
+  // proximity to the anchor so the search expands outward from the key.
+  const net::Topology& topo = node_->network().topology();
+  for (const NodeHandle& n : node_->neighbor_set().members()) {
+    bool seen =
+        std::find(walk->visited.begin(), walk->visited.end(), n.id) !=
+            walk->visited.end() ||
+        std::find(walk->frontier.begin(), walk->frontier.end(), n) !=
+            walk->frontier.end();
+    if (!seen) walk->frontier.push_back(n);
+  }
+  auto anchor_rank = [&](const NodeHandle& n) {
+    long tier = static_cast<long>(topo.proximity(walk->anchor.host, n.host));
+    long delta = n.host > walk->anchor.host ? n.host - walk->anchor.host
+                                            : walk->anchor.host - n.host;
+    return tier * 1'000'000L + delta;
+  };
+  std::stable_sort(walk->frontier.begin(), walk->frontier.end(),
+                   [&](const NodeHandle& a, const NodeHandle& b) {
+                     return anchor_rank(a) < anchor_rank(b);
+                   });
+  continue_walk(std::move(walk));
+}
+
+void VBundleAgent::continue_walk(std::shared_ptr<PlacementWalkMsg> walk) {
+  while (!walk->frontier.empty() && walk->visits < walk->max_visits) {
+    NodeHandle next = walk->frontier.front();
+    walk->frontier.erase(walk->frontier.begin());
+    if (std::find(walk->visited.begin(), walk->visited.end(), next.id) !=
+        walk->visited.end()) {
+      continue;
+    }
+    node_->send_direct(next, walk, MsgCategory::kVBundle);
+    return;
+  }
+  // Search radius exhausted.
+  auto nack = std::make_shared<BootNackMsg>();
+  nack->vm = walk->vm;
+  nack->visits = walk->visits;
+  node_->send_direct(walk->requester, std::move(nack), MsgCategory::kVBundle);
+}
+
+}  // namespace vb::core

@@ -1,0 +1,70 @@
+// Payloads and configuration of the v-Bundle boot/placement protocol (§II.B).
+//
+// Booting a VM routes a query to hash(customer); the key-owning server
+// either hosts the VM or walks it through the proximity neighbor set until
+// some server admits the reservation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hostmodel/vm.h"
+#include "pastry/message.h"
+#include "pastry/node_id.h"
+
+namespace vb::core {
+
+/// Routed toward hash(customer): "boot this VM somewhere near the key".
+struct BootQueryMsg : pastry::Payload {
+  host::VmId vm = -1;
+  host::VmSpec spec;
+  host::CustomerId customer = -1;
+  pastry::NodeHandle requester;  ///< gateway to ack/nack
+  std::size_t wire_bytes() const override { return 96; }
+  std::string name() const override { return "vbundle.boot_query"; }
+};
+
+/// Direct: the walking form of a boot query spilling over neighbor sets.
+/// Carries the frontier queue and visited set of a breadth-first search
+/// over proximity neighbor sets, so the query expands outward from the key
+/// owner in physical-distance order.
+struct PlacementWalkMsg : pastry::Payload {
+  host::VmId vm = -1;
+  host::VmSpec spec;
+  host::CustomerId customer = -1;
+  pastry::NodeHandle requester;
+  /// The key-owning server the search expands from; frontier order is
+  /// proximity to this anchor, keeping spillover clustered around the
+  /// customer's key.
+  pastry::NodeHandle anchor;
+  std::vector<pastry::NodeHandle> frontier;  ///< next candidates, nearest first
+  std::vector<U128> visited;
+  int visits = 0;
+  int max_visits = 256;
+  std::size_t wire_bytes() const override {
+    return 112 + 24 * frontier.size() + 16 * visited.size();
+  }
+  std::string name() const override { return "vbundle.place_walk"; }
+};
+
+/// Direct to the requester: VM placed on `server`.
+struct BootAckMsg : pastry::Payload {
+  host::VmId vm = -1;
+  pastry::NodeHandle server;
+  int visits = 0;  ///< servers probed before success (1 = key owner)
+  std::size_t wire_bytes() const override { return 64; }
+  std::string name() const override { return "vbundle.boot_ack"; }
+};
+
+/// Direct to the requester: no server in the search radius could admit it.
+struct BootNackMsg : pastry::Payload {
+  host::VmId vm = -1;
+  int visits = 0;
+  std::size_t wire_bytes() const override { return 48; }
+  std::string name() const override { return "vbundle.boot_nack"; }
+};
+
+/// Completion callback for a boot request: (vm, host or -1, servers probed).
+using BootCallback = std::function<void(host::VmId, int, int)>;
+
+}  // namespace vb::core

@@ -1,0 +1,50 @@
+// Payloads and state of v-Bundle's decentralized resource shuffling (§III).
+//
+// Servers learn the cluster-wide bandwidth demand/capacity from two
+// aggregation trees, self-classify as load shedders or receivers against
+// mean + threshold, and shedders anycast load-balance queries into the
+// "Less-Loaded" Scribe tree.  The first receiver that passes both
+// acceptance checks holds bandwidth and acks; the shedder live-migrates the
+// VM to it.
+#pragma once
+
+#include "hostmodel/vm.h"
+#include "pastry/message.h"
+#include "pastry/node_id.h"
+
+namespace vb::core {
+
+/// Role a server assumes after comparing its utilization to the cluster
+/// average (§III.C step 1).
+enum class LoadRole { kNeutral, kShedder, kReceiver };
+
+inline const char* to_string(LoadRole r) {
+  switch (r) {
+    case LoadRole::kShedder: return "shedder";
+    case LoadRole::kReceiver: return "receiver";
+    default: return "neutral";
+  }
+}
+
+/// Anycast inner payload: "take this VM off my hands".
+struct LoadBalanceQueryMsg : pastry::Payload {
+  host::VmId vm = -1;
+  host::VmSpec spec;
+  double demand_mbps = 0.0;        ///< VM's current offered bandwidth load
+  double cpu_demand = 0.0;         ///< VM's current offered CPU load
+  pastry::NodeHandle shedder;      ///< who to ack
+  std::size_t wire_bytes() const override { return 104; }
+  std::string name() const override { return "vbundle.lb_query"; }
+};
+
+/// Per-agent shuffling statistics (bench instrumentation).
+struct ShuffleStats {
+  std::uint64_t queries_sent = 0;
+  std::uint64_t queries_accepted = 0;   // as receiver
+  std::uint64_t queries_declined = 0;   // as receiver
+  std::uint64_t anycast_failures = 0;   // as shedder: tree had no taker
+  std::uint64_t migrations_out = 0;
+  std::uint64_t migrations_in = 0;
+};
+
+}  // namespace vb::core

@@ -1,0 +1,98 @@
+// Time-varying bandwidth demand profiles.
+//
+// v-Bundle's whole premise is that "customer's applications experience
+// dynamic variations lasting for longer periods of time" (§I): some VMs
+// peak while siblings idle.  Profiles here are deterministic functions of
+// time (seeded noise included), so every experiment replays identically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "hostmodel/host.h"
+
+namespace vb::load {
+
+/// A deterministic demand curve in Mbps.
+class DemandProfile {
+ public:
+  virtual ~DemandProfile() = default;
+  /// Offered load at simulated time `t` seconds.
+  virtual double at(double t) const = 0;
+};
+
+/// Flat demand.
+class ConstantDemand : public DemandProfile {
+ public:
+  explicit ConstantDemand(double mbps) : mbps_(mbps) {}
+  double at(double) const override { return mbps_; }
+
+ private:
+  double mbps_;
+};
+
+/// Square wave between `low` and `high`: the "some VMs reach their peak
+/// value while others decrease to some low value" pattern of Figs. 9-11.
+class PeakTroughDemand : public DemandProfile {
+ public:
+  PeakTroughDemand(double low, double high, double period_s, double phase_s,
+                   double duty = 0.5);
+  double at(double t) const override;
+
+ private:
+  double low_, high_, period_, phase_, duty_;
+};
+
+/// Smooth diurnal-style sine: mean + amplitude * sin(2*pi*(t+phase)/period).
+/// Clamped at zero.
+class SineDemand : public DemandProfile {
+ public:
+  SineDemand(double mean, double amplitude, double period_s, double phase_s);
+  double at(double t) const override;
+
+ private:
+  double mean_, amplitude_, period_, phase_;
+};
+
+/// Piecewise-constant pseudo-random demand: every `slot_s` seconds the level
+/// is redrawn uniformly in [lo, hi] from a hash of (seed, slot) — stateless,
+/// reproducible, and independent across VMs with distinct seeds.
+class RandomSlotDemand : public DemandProfile {
+ public:
+  RandomSlotDemand(double lo, double hi, double slot_s, std::uint64_t seed);
+  double at(double t) const override;
+
+ private:
+  double lo_, hi_, slot_;
+  std::uint64_t seed_;
+};
+
+/// Ramp from `start` by `slope` per second, clamped to [0, cap].
+/// Models SIPp's increasing call rate (§V.A).
+class RampDemand : public DemandProfile {
+ public:
+  RampDemand(double start, double slope_per_s, double cap);
+  double at(double t) const override;
+
+ private:
+  double start_, slope_, cap_;
+};
+
+/// Maps VMs to profiles and pushes demands into the fleet at a given time.
+class DemandModel {
+ public:
+  void assign(host::VmId vm, std::unique_ptr<DemandProfile> profile);
+  bool has(host::VmId vm) const { return profiles_.contains(vm); }
+
+  /// Demand of one VM at `t` (0 if the VM has no profile).
+  double demand_of(host::VmId vm, double t) const;
+
+  /// Writes every profiled VM's demand at time `t` into the fleet.
+  void apply(host::Fleet& fleet, double t) const;
+
+ private:
+  std::map<host::VmId, std::unique_ptr<DemandProfile>> profiles_;
+};
+
+}  // namespace vb::load

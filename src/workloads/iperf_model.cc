@@ -1,0 +1,37 @@
+#include "workloads/iperf_model.h"
+
+#include <stdexcept>
+
+namespace vb::load {
+
+void apply_iperf_demand(host::Fleet& fleet,
+                        const std::vector<IperfPair>& pairs) {
+  for (const IperfPair& p : pairs) {
+    fleet.set_demand(p.client, p.target_mbps);
+  }
+}
+
+std::vector<net::Flow> iperf_flows(const host::Fleet& fleet,
+                                   const std::vector<IperfPair>& pairs) {
+  std::vector<net::Flow> flows;
+  flows.reserve(pairs.size());
+  for (const IperfPair& p : pairs) {
+    const host::Vm& c = fleet.vm(p.client);
+    const host::Vm& s = fleet.vm(p.server);
+    if (c.host == -1 || s.host == -1) continue;
+    flows.push_back(net::Flow{c.host, s.host, p.target_mbps});
+  }
+  return flows;
+}
+
+std::vector<double> iperf_throughput(const net::Allocation& alloc,
+                                     std::size_t num_pairs) {
+  if (alloc.rate_mbps.size() < num_pairs) {
+    throw std::invalid_argument("iperf_throughput: allocation too small");
+  }
+  return std::vector<double>(alloc.rate_mbps.begin(),
+                             alloc.rate_mbps.begin() +
+                                 static_cast<std::ptrdiff_t>(num_pairs));
+}
+
+}  // namespace vb::load

@@ -1,0 +1,36 @@
+// Iperf-like elastic interference traffic (§V.A).
+//
+// "We continuously run Iperf pairs to generate interference traffic and
+// thus introduce the bandwidth bottleneck."  An Iperf pair is a greedy TCP
+// stream: it demands whatever its VM's limit allows, always.
+#pragma once
+
+#include <vector>
+
+#include "hostmodel/host.h"
+#include "net/flow_allocator.h"
+
+namespace vb::load {
+
+/// One client->server greedy stream between two VMs.
+struct IperfPair {
+  host::VmId client;
+  host::VmId server;
+  double target_mbps;  ///< stream tries to push this much (<= VM limit)
+};
+
+/// Builds the iperf demand: sets every client VM's demand to its target.
+void apply_iperf_demand(host::Fleet& fleet, const std::vector<IperfPair>& pairs);
+
+/// Converts iperf pairs into network flows between the hosts currently
+/// hosting the endpoint VMs (skips unplaced endpoints).
+std::vector<net::Flow> iperf_flows(const host::Fleet& fleet,
+                                   const std::vector<IperfPair>& pairs);
+
+/// Measured throughput of each pair under a computed allocation, aligned
+/// with `pairs`.  `alloc` must come from the flow set `iperf_flows`
+/// produced for the same pairs.
+std::vector<double> iperf_throughput(const net::Allocation& alloc,
+                                     std::size_t num_pairs);
+
+}  // namespace vb::load

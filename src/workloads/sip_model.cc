@@ -1,0 +1,57 @@
+#include "workloads/sip_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vb::load {
+
+SipModel::SipModel(SipConfig cfg) : cfg_(cfg) {
+  if (cfg.start_rate_cps < 0 || cfg.max_rate_cps < cfg.start_rate_cps ||
+      cfg.per_call_mbps <= 0 || cfg.call_hold_s <= 0) {
+    throw std::invalid_argument("SipModel: bad configuration");
+  }
+}
+
+double SipModel::offered_rate_cps(double t) const {
+  return std::min(cfg_.max_rate_cps, cfg_.start_rate_cps + cfg_.ramp_cps_per_s * t);
+}
+
+double SipModel::demand_mbps(double t) const {
+  return offered_rate_cps(t) * cfg_.call_hold_s * cfg_.per_call_mbps;
+}
+
+std::uint64_t SipModel::step(double allocated_mbps) {
+  if (allocated_mbps < 0) {
+    throw std::invalid_argument("SipModel::step: negative allocation");
+  }
+  double rate = offered_rate_cps(elapsed_s_);
+  double need = demand_mbps(elapsed_s_);
+
+  double satisfied = need <= 0 ? 1.0 : std::clamp(allocated_mbps / need, 0.0, 1.0);
+
+  // Calls whose media cannot be carried fail (no usable audio path => the
+  // SIPp client counts them as failed after timeout).
+  auto attempted = static_cast<std::uint64_t>(std::llround(rate));
+  auto failed = static_cast<std::uint64_t>(
+      std::llround(rate * (1.0 - satisfied)));
+
+  // Response time: base latency, inflated by SIP retransmission rounds when
+  // signalling shares the starved link.  With shortfall s in [0,1), the
+  // expected number of lost-and-retransmitted rounds grows like s/(1-s)
+  // (geometric retries), each costing the T1 timer.
+  double shortfall = 1.0 - satisfied;
+  double retries = shortfall >= 0.999 ? 20.0 : shortfall / (1.0 - shortfall);
+  retries = std::min(retries, 20.0);
+  double response_ms = cfg_.base_response_ms + retries * cfg_.retrans_ms *
+                                                   0.1;  // mean over calls
+  stats_.calls_attempted += attempted;
+  stats_.calls_failed += failed;
+  stats_.failed_per_step.push_back(failed);
+  stats_.offered_rate_per_step.push_back(rate);
+  stats_.response_samples_ms.push_back(response_ms);
+  elapsed_s_ += 1.0;
+  return failed;
+}
+
+}  // namespace vb::load

@@ -1,0 +1,73 @@
+// SIPp-like VoIP workload model (§V.A).
+//
+// The paper drives its QoS experiments with SIPp: "Call rate (calls per
+// seconds) starts from 800, increases by 10 every second, with the maximum
+// rate set to 3000 and total calls to 1000K", and reports the number of
+// failed calls (Fig. 12) and the response-time CDF (Fig. 13).
+//
+// We model the SIPp VM as a bandwidth-sensitive service: each call carries
+// RTP media needing a fixed bandwidth slice.  When the VM's allocated
+// bandwidth falls short of what the offered call volume needs, the shortfall
+// fails calls and inflates response time (retransmissions after timeouts,
+// §II) — exactly the mechanics the paper attributes to saturated links.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vb::load {
+
+struct SipConfig {
+  double start_rate_cps = 800.0;
+  double ramp_cps_per_s = 10.0;
+  double max_rate_cps = 3000.0;
+  std::uint64_t total_calls = 1'000'000;
+  /// Media bandwidth one concurrent call consumes (64 kbps G.711 RTP plus
+  /// overhead ~= 0.08 Mbps).
+  double per_call_mbps = 0.08;
+  /// Mean call hold time; concurrent calls = rate * hold.
+  double call_hold_s = 1.0;
+  /// Response time when uncongested.
+  double base_response_ms = 5.0;
+  /// SIP retransmission timer T1; each lost round adds this much.
+  double retrans_ms = 500.0;
+};
+
+/// Aggregate statistics after a run.
+struct SipStats {
+  std::uint64_t calls_attempted = 0;
+  std::uint64_t calls_failed = 0;
+  std::vector<double> response_samples_ms;  // one per simulated second
+  std::vector<std::uint64_t> failed_per_step;
+  std::vector<double> offered_rate_per_step;
+};
+
+/// Step-driven SIPp application model.  Call step() once per simulated
+/// second with the bandwidth the SIPp VM actually received that second.
+class SipModel {
+ public:
+  explicit SipModel(SipConfig cfg);
+
+  /// Offered call rate at elapsed time `t` seconds.
+  double offered_rate_cps(double t) const;
+
+  /// Bandwidth demanded at time `t` (concurrent media streams).
+  double demand_mbps(double t) const;
+
+  /// Advances one second: given granted bandwidth, records failures and a
+  /// response-time sample.  Returns the number of calls that failed in this
+  /// step.
+  std::uint64_t step(double allocated_mbps);
+
+  const SipStats& stats() const { return stats_; }
+  double elapsed_s() const { return elapsed_s_; }
+  bool finished() const { return stats_.calls_attempted >= cfg_.total_calls; }
+  const SipConfig& config() const { return cfg_; }
+
+ private:
+  SipConfig cfg_;
+  SipStats stats_;
+  double elapsed_s_ = 0.0;
+};
+
+}  // namespace vb::load

@@ -1,0 +1,101 @@
+#include "workloads/trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vb::load {
+
+TraceDemand::TraceDemand(std::vector<TracePoint> points, Interpolation interp,
+                         bool loop)
+    : points_(std::move(points)), interp_(interp), loop_(loop) {
+  if (points_.empty()) {
+    throw std::invalid_argument("TraceDemand: empty trace");
+  }
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].mbps < 0) {
+      throw std::invalid_argument("TraceDemand: negative demand");
+    }
+    if (i > 0 && points_[i].t_seconds <= points_[i - 1].t_seconds) {
+      throw std::invalid_argument("TraceDemand: times must strictly increase");
+    }
+  }
+  if (loop_ && points_.size() < 2) {
+    throw std::invalid_argument("TraceDemand: looping needs >= 2 points");
+  }
+}
+
+double TraceDemand::span_seconds() const {
+  return points_.back().t_seconds - points_.front().t_seconds;
+}
+
+double TraceDemand::at(double t) const {
+  if (loop_) {
+    double start = points_.front().t_seconds;
+    double span = span_seconds();
+    double offset = std::fmod(t - start, span);
+    if (offset < 0) offset += span;
+    t = start + offset;
+  }
+  if (t <= points_.front().t_seconds) return points_.front().mbps;
+  if (t >= points_.back().t_seconds) return points_.back().mbps;
+  // Find the segment [i, i+1] containing t.
+  std::size_t lo = 0, hi = points_.size() - 1;
+  while (hi - lo > 1) {
+    std::size_t mid = (lo + hi) / 2;
+    if (points_[mid].t_seconds <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  if (interp_ == Interpolation::kStep) return points_[lo].mbps;
+  double frac = (t - points_[lo].t_seconds) /
+                (points_[hi].t_seconds - points_[lo].t_seconds);
+  return points_[lo].mbps + frac * (points_[hi].mbps - points_[lo].mbps);
+}
+
+std::vector<TracePoint> parse_trace_csv(const std::string& text) {
+  std::vector<TracePoint> out;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (blank) continue;
+    auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw std::invalid_argument("trace CSV line " + std::to_string(lineno) +
+                                  ": expected 't,mbps'");
+    }
+    try {
+      std::size_t p1 = 0, p2 = 0;
+      std::string a = line.substr(0, comma), b = line.substr(comma + 1);
+      double t = std::stod(a, &p1);
+      double v = std::stod(b, &p2);
+      out.push_back(TracePoint{t, v});
+    } catch (const std::exception&) {
+      throw std::invalid_argument("trace CSV line " + std::to_string(lineno) +
+                                  ": malformed numbers");
+    }
+  }
+  return out;
+}
+
+std::vector<TracePoint> load_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace_csv: cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return parse_trace_csv(buf.str());
+}
+
+}  // namespace vb::load

@@ -1,0 +1,52 @@
+// Trace-driven demand profiles.
+//
+// Production adopters replay recorded demand curves rather than synthetic
+// ones.  A trace is a series of (time, mbps) breakpoints; between
+// breakpoints the demand is step-held (matching how monitoring systems
+// sample) or linearly interpolated.  Traces can be loaded from a simple
+// CSV (`t_seconds,mbps` per line, '#' comments allowed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/demand.h"
+
+namespace vb::load {
+
+struct TracePoint {
+  double t_seconds;
+  double mbps;
+};
+
+/// A demand profile defined by breakpoints.
+class TraceDemand : public DemandProfile {
+ public:
+  enum class Interpolation { kStep, kLinear };
+
+  /// Points must be non-empty and strictly increasing in time; throws
+  /// otherwise.  Before the first point the first value holds; after the
+  /// last point the behaviour depends on `loop`: when true the trace
+  /// repeats (time wraps modulo its span), when false the last value holds.
+  TraceDemand(std::vector<TracePoint> points,
+              Interpolation interp = Interpolation::kStep, bool loop = false);
+
+  double at(double t) const override;
+
+  std::size_t size() const { return points_.size(); }
+  double span_seconds() const;
+
+ private:
+  std::vector<TracePoint> points_;
+  Interpolation interp_;
+  bool loop_;
+};
+
+/// Parses trace CSV text (`t,mbps` lines; blank lines and lines starting
+/// with '#' ignored).  Throws std::invalid_argument on malformed input.
+std::vector<TracePoint> parse_trace_csv(const std::string& text);
+
+/// Loads a trace from a CSV file; throws std::runtime_error if unreadable.
+std::vector<TracePoint> load_trace_csv(const std::string& path);
+
+}  // namespace vb::load

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/central_rebalancer.h"
+#include "baselines/greedy_placement.h"
+#include "baselines/random_placement.h"
+#include "common/rng.h"
+
+namespace vb::baseline {
+namespace {
+
+TEST(Greedy, FillsHostsInOrder) {
+  host::Fleet f(4, 1000.0);
+  GreedyPlacer g(&f);
+  // Each host fits two 500-reservations.
+  std::vector<int> hosts;
+  for (int i = 0; i < 8; ++i) {
+    host::VmId v = f.create_vm(0, host::VmSpec{500, 800});
+    hosts.push_back(g.place(v));
+  }
+  EXPECT_EQ(hosts, (std::vector<int>{0, 0, 1, 1, 2, 2, 3, 3}));
+}
+
+TEST(Greedy, ReturnsMinusOneWhenFull) {
+  host::Fleet f(1, 1000.0);
+  GreedyPlacer g(&f);
+  host::VmId a = f.create_vm(0, host::VmSpec{800, 900});
+  EXPECT_EQ(g.place(a), 0);
+  host::VmId b = f.create_vm(0, host::VmSpec{800, 900});
+  EXPECT_EQ(g.place(b), -1);
+  EXPECT_GT(g.hosts_examined(), 0u);
+}
+
+TEST(Random, PlacesEverythingWhileCapacityExists) {
+  host::Fleet f(8, 1000.0);
+  RandomPlacer r(&f, 5);
+  std::set<int> used;
+  for (int i = 0; i < 16; ++i) {
+    host::VmId v = f.create_vm(0, host::VmSpec{400, 800});
+    int h = r.place(v);
+    ASSERT_GE(h, 0);
+    used.insert(h);
+  }
+  EXPECT_GE(used.size(), 6u);  // spread, not clustered
+  host::VmId v = f.create_vm(0, host::VmSpec{400, 800});
+  EXPECT_EQ(r.place(v), -1);  // 16 x 400 filled 8 x (2 x 400); no third fits
+}
+
+TEST(Random, DeterministicForSeed) {
+  host::Fleet f1(8, 1000.0), f2(8, 1000.0);
+  RandomPlacer r1(&f1, 9), r2(&f2, 9);
+  for (int i = 0; i < 10; ++i) {
+    host::VmId v1 = f1.create_vm(0, host::VmSpec{100, 200});
+    host::VmId v2 = f2.create_vm(0, host::VmSpec{100, 200});
+    EXPECT_EQ(r1.place(v1), r2.place(v2));
+  }
+}
+
+struct ImbalancedFleet {
+  host::Fleet f{8, 1000.0};
+  ImbalancedFleet() {
+    for (int h = 0; h < 2; ++h) {
+      for (int i = 0; i < 6; ++i) {
+        host::VmId v = f.create_vm(0, host::VmSpec{100, 400});
+        EXPECT_TRUE(f.place(v, h));
+        f.set_demand(v, 150.0);
+      }
+    }
+    for (int h = 2; h < 8; ++h) {
+      host::VmId v = f.create_vm(0, host::VmSpec{100, 400});
+      EXPECT_TRUE(f.place(v, h));
+      f.set_demand(v, 100.0);
+    }
+  }
+};
+
+TEST(Central, ConvergesUnderCeiling) {
+  ImbalancedFleet env;
+  CentralRebalancer c(&env.f, 0.183);
+  CentralRebalanceResult r = c.rebalance();
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.migrations, 0);
+  // avg is recomputed each iteration; final state respects mean+threshold.
+  double total_d = 0, total_c = 0;
+  for (int h = 0; h < 8; ++h) {
+    total_d += env.f.host_demand_mbps(h);
+    total_c += env.f.host(h).capacity_mbps();
+  }
+  double ceiling = total_d / total_c + 0.183;
+  EXPECT_LE(r.final_max_utilization, ceiling + 1e-9);
+}
+
+TEST(Central, PairsExaminedScaleWithHostCount) {
+  ImbalancedFleet env;
+  CentralRebalancer c(&env.f, 0.183);
+  CentralRebalanceResult r = c.rebalance();
+  // Every migration decision scanned all 8 hosts.
+  EXPECT_GE(r.pairs_examined, static_cast<std::uint64_t>(r.migrations) * 7);
+}
+
+TEST(Central, NoWorkWhenBalanced) {
+  host::Fleet f(4, 1000.0);
+  for (int h = 0; h < 4; ++h) {
+    host::VmId v = f.create_vm(0, host::VmSpec{100, 400});
+    ASSERT_TRUE(f.place(v, h));
+    f.set_demand(v, 200.0);
+  }
+  CentralRebalancer c(&f, 0.1);
+  CentralRebalanceResult r = c.rebalance();
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.migrations, 0);
+}
+
+TEST(Central, RespectsMaxMigrations) {
+  ImbalancedFleet env;
+  CentralRebalancer c(&env.f, 0.01);
+  CentralRebalanceResult r = c.rebalance(1);
+  EXPECT_LE(r.migrations, 1);
+}
+
+TEST(Central, RejectsBadArgs) {
+  host::Fleet f(2, 1000.0);
+  EXPECT_THROW(CentralRebalancer(nullptr, 0.1), std::invalid_argument);
+  EXPECT_THROW(CentralRebalancer(&f, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vb::baseline

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/table.h"
+
+namespace vb {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> v(args);
+  return Flags::parse(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Flags, KeyEqualsValue) {
+  Flags f = parse({"--threshold=0.3", "--seed=7"});
+  EXPECT_DOUBLE_EQ(f.get_double("threshold", 0), 0.3);
+  EXPECT_EQ(f.get_int("seed", 0), 7);
+}
+
+TEST(Flags, KeySpaceValue) {
+  Flags f = parse({"--racks", "12", "--name", "abc"});
+  EXPECT_EQ(f.get_int("racks", 0), 12);
+  EXPECT_EQ(f.get_string("name", ""), "abc");
+}
+
+TEST(Flags, BareSwitchIsTrue) {
+  Flags f = parse({"--verbose", "--dry-run"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_TRUE(f.get_bool("dry-run", false));
+  EXPECT_FALSE(f.get_bool("absent", false));
+}
+
+TEST(Flags, BoolValues) {
+  Flags f = parse({"--a=true", "--b=false", "--c=1", "--d=0", "--e=yes"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+  EXPECT_TRUE(f.get_bool("e", false));
+  Flags g = parse({"--x=maybe"});
+  EXPECT_THROW(g.get_bool("x", false), std::invalid_argument);
+}
+
+TEST(Flags, PositionalArguments) {
+  Flags f = parse({"run", "--n=3", "fast"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "run");
+  EXPECT_EQ(f.positional()[1], "fast");
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  Flags f = parse({});
+  EXPECT_EQ(f.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(f.get_string("s", "dflt"), "dflt");
+  EXPECT_FALSE(f.get("missing").has_value());
+}
+
+TEST(Flags, MalformedNumbersThrow) {
+  Flags f = parse({"--n=abc", "--x=1.2.3"});
+  EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(f.get_double("x", 0), std::invalid_argument);
+  EXPECT_THROW(parse({"--=v"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+}
+
+TEST(Flags, IntRejectsTrailingChars) {
+  Flags f = parse({"--n=12x"});
+  EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Flags, KeysEnumerates) {
+  Flags f = parse({"--b=1", "--a=2"});
+  auto keys = f.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");  // map order
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(Csv, EscapeRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, WritesRowsRoundTrip) {
+  std::string path = ::testing::TempDir() + "vb_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.row({"t", "value"});
+    w.row_numeric({1.0, 2.5});
+    w.row({"x,y", "q\"z\""});
+    EXPECT_EQ(w.rows_written(), 3u);
+  }
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "t,value");
+  EXPECT_EQ(l2, "1,2.5");
+  EXPECT_EQ(l3, "\"x,y\",\"q\"\"z\"\"\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), std::runtime_error);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.set_header({"a", "bbbb"});
+  t.add_row({"xxxxx", "y"});
+  std::string s = t.to_string();
+  // Header, separator, one row.
+  int newlines = 0;
+  for (char c : s) newlines += c == '\n';
+  EXPECT_EQ(newlines, 3);
+  EXPECT_NE(s.find("xxxxx"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(static_cast<std::size_t>(42)), "42");
+}
+
+TEST(TextTable, RowsWithoutHeader) {
+  TextTable t;
+  t.add_row({"only", "rows"});
+  std::string s = t.to_string();
+  EXPECT_EQ(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vb

@@ -1,0 +1,90 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace vb {
+namespace {
+
+std::string hex_of(const std::array<std::uint8_t, 20>& d) {
+  static const char* k = "0123456789abcdef";
+  std::string out;
+  for (auto b : d) {
+    out += k[b >> 4];
+    out += k[b & 0xF];
+  }
+  return out;
+}
+
+// FIPS 180-1 reference vectors.
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(hex_of(sha1("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(hex_of(sha1("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(
+      hex_of(sha1("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, QuickBrownFox) {
+  EXPECT_EQ(hex_of(sha1("The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, LengthCrossingPadBoundary) {
+  // 55, 56, 63, 64, 65 bytes cross the padding edge cases.
+  for (std::size_t n : {55u, 56u, 63u, 64u, 65u}) {
+    std::string s(n, 'a');
+    auto d1 = sha1(s);
+    auto d2 = sha1(s);
+    EXPECT_EQ(d1, d2) << n;
+    EXPECT_NE(hex_of(d1), hex_of(sha1(s + "b"))) << n;
+  }
+}
+
+TEST(Sha1Key, IsDigestPrefix) {
+  auto d = sha1("IBM");
+  U128 k = sha1_key("IBM");
+  std::uint64_t hi = 0;
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | d[i];
+  EXPECT_EQ(k.hi(), hi);
+}
+
+TEST(Sha1Key, DistinctNamesDistinctKeys) {
+  EXPECT_NE(sha1_key("Accolade"), sha1_key("Beenox"));
+  EXPECT_NE(sha1_key("a"), sha1_key("b"));
+  EXPECT_EQ(sha1_key("IBM"), sha1_key("IBM"));
+}
+
+TEST(Fnv, KnownValues) {
+  // FNV-1a 64 reference values.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv128, ComponentsDiffer) {
+  U128 v = fnv1a128("hello");
+  EXPECT_NE(v.hi(), v.lo());
+  EXPECT_EQ(v, fnv1a128("hello"));
+  EXPECT_NE(v, fnv1a128("hellp"));
+}
+
+TEST(ScribeGroupId, DependsOnTopicAndCreator) {
+  U128 a = scribe_group_id("BW_Demand", "vbundle");
+  U128 b = scribe_group_id("BW_Demand", "other");
+  U128 c = scribe_group_id("BW_Capacity", "vbundle");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, scribe_group_id("BW_Demand", "vbundle"));
+}
+
+TEST(ScribeGroupId, SeparatorPreventsAmbiguity) {
+  EXPECT_NE(scribe_group_id("ab", "c"), scribe_group_id("a", "bc"));
+}
+
+}  // namespace
+}  // namespace vb

@@ -1,0 +1,165 @@
+#include "common/u128.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace vb {
+namespace {
+
+TEST(U128, DefaultIsZero) {
+  U128 z;
+  EXPECT_EQ(z.hi(), 0u);
+  EXPECT_EQ(z.lo(), 0u);
+  EXPECT_EQ(z, U128{0});
+}
+
+TEST(U128, OrderingComparesHiThenLo) {
+  EXPECT_LT(U128(0, 5), U128(0, 6));
+  EXPECT_LT(U128(0, ~0ULL), U128(1, 0));
+  EXPECT_GT(U128(2, 0), U128(1, ~0ULL));
+  EXPECT_EQ(U128(3, 4), U128(3, 4));
+}
+
+TEST(U128, AdditionCarriesAcrossLimbs) {
+  U128 a{0, ~0ULL};
+  U128 b{0, 1};
+  U128 sum = a + b;
+  EXPECT_EQ(sum.hi(), 1u);
+  EXPECT_EQ(sum.lo(), 0u);
+}
+
+TEST(U128, AdditionWrapsAtMax) {
+  U128 sum = U128::max() + U128{1};
+  EXPECT_EQ(sum, U128{0});
+}
+
+TEST(U128, SubtractionBorrowsAcrossLimbs) {
+  U128 a{1, 0};
+  U128 b{0, 1};
+  U128 d = a - b;
+  EXPECT_EQ(d.hi(), 0u);
+  EXPECT_EQ(d.lo(), ~0ULL);
+}
+
+TEST(U128, SubtractionWrapsBelowZero) {
+  U128 d = U128{0} - U128{1};
+  EXPECT_EQ(d, U128::max());
+}
+
+TEST(U128, ShiftLeftAcrossLimbBoundary) {
+  U128 one{1};
+  U128 shifted = one << 64;
+  EXPECT_EQ(shifted.hi(), 1u);
+  EXPECT_EQ(shifted.lo(), 0u);
+  EXPECT_EQ(one << 0, one);
+  EXPECT_EQ((one << 68).hi(), 16u);
+}
+
+TEST(U128, ShiftRightAcrossLimbBoundary) {
+  U128 v{1, 0};
+  EXPECT_EQ(v >> 64, U128{1});
+  EXPECT_EQ(v >> 1, U128(0, 1ULL << 63));
+}
+
+TEST(U128, ShiftRoundTrip) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    U128 v = rng.next_u128();
+    for (int s : {1, 4, 31, 64, 97}) {
+      U128 masked = (v >> s) << s;
+      // Low s bits must be cleared, the rest preserved.
+      EXPECT_EQ(masked, v - (v & ((U128{1} << s) - U128{1})));
+    }
+  }
+}
+
+TEST(U128, DigitExtractionMsbFirst) {
+  U128 v = U128::from_hex("0123456789abcdef0123456789abcdef");
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(v.digit(i), i % 16) << "digit " << i;
+  }
+}
+
+TEST(U128, WithDigitReplacesOnlyThatDigit) {
+  U128 v = U128::from_hex("0123456789abcdef0123456789abcdef");
+  U128 w = v.with_digit(0, 0xF);
+  EXPECT_EQ(w.digit(0), 0xF);
+  for (int i = 1; i < 32; ++i) EXPECT_EQ(w.digit(i), v.digit(i));
+  U128 x = v.with_digit(20, 0x0);
+  EXPECT_EQ(x.digit(20), 0x0);
+  EXPECT_EQ(x.digit(19), v.digit(19));
+  EXPECT_EQ(x.digit(21), v.digit(21));
+}
+
+TEST(U128, HexRoundTrip) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    U128 v = rng.next_u128();
+    EXPECT_EQ(U128::from_hex(v.to_hex()), v);
+  }
+}
+
+TEST(U128, FromHexShortStringsPadHighZeros) {
+  EXPECT_EQ(U128::from_hex("ff"), U128{255});
+  EXPECT_EQ(U128::from_hex("1"), U128{1});
+  EXPECT_EQ(U128::from_hex("10000000000000000"), U128(1, 0));
+}
+
+TEST(U128, FromHexRejectsBadInput) {
+  EXPECT_THROW(U128::from_hex(""), std::invalid_argument);
+  EXPECT_THROW(U128::from_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW(U128::from_hex(std::string(33, 'a')), std::invalid_argument);
+}
+
+TEST(U128, SharedPrefixDigits) {
+  U128 a = U128::from_hex("abcdef00000000000000000000000000");
+  U128 b = U128::from_hex("abcdee00000000000000000000000000");
+  EXPECT_EQ(shared_prefix_digits(a, b), 5);
+  EXPECT_EQ(shared_prefix_digits(a, a), 32);
+  U128 c = U128::from_hex("00000000000000000000000000000000");
+  U128 d = U128::from_hex("80000000000000000000000000000000");
+  EXPECT_EQ(shared_prefix_digits(c, d), 0);
+}
+
+TEST(U128, RingDistanceIsSymmetricAndWraps) {
+  U128 a{10};
+  U128 b{20};
+  EXPECT_EQ(ring_distance(a, b), U128{10});
+  EXPECT_EQ(ring_distance(b, a), U128{10});
+  // Wrap-around: max and 0 are adjacent on the ring.
+  EXPECT_EQ(ring_distance(U128::max(), U128{0}), U128{1});
+  EXPECT_EQ(ring_distance(U128{0}, U128::max()), U128{1});
+}
+
+TEST(U128, RingDistanceToSelfIsZero) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    U128 v = rng.next_u128();
+    EXPECT_EQ(ring_distance(v, v), U128{0});
+  }
+}
+
+TEST(U128, CloserOnRingPrefersSmallerDistance) {
+  U128 key{100};
+  EXPECT_TRUE(closer_on_ring(key, U128{101}, U128{105}));
+  EXPECT_FALSE(closer_on_ring(key, U128{105}, U128{101}));
+  // Wraparound candidate.
+  EXPECT_TRUE(closer_on_ring(U128{0}, U128::max(), U128{2}));
+}
+
+TEST(U128, CloserOnRingBreaksTiesTowardSmallerId) {
+  U128 key{100};
+  // 99 and 101 are equidistant; the numerically smaller id wins.
+  EXPECT_TRUE(closer_on_ring(key, U128{99}, U128{101}));
+  EXPECT_FALSE(closer_on_ring(key, U128{101}, U128{99}));
+}
+
+TEST(U128, ShortHexPrefixes) {
+  U128 v = U128::from_hex("abcdef00000000000000000000000000");
+  EXPECT_EQ(v.short_hex(6), "abcdef");
+  EXPECT_EQ(v.to_hex().size(), 32u);
+}
+
+}  // namespace
+}  // namespace vb

@@ -1,0 +1,108 @@
+// Property-based end-to-end invariants: under randomized topologies,
+// demands, and rebalancing activity, the system must conserve resource
+// accounting, respect capacities, and remain live.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vbundle/cloud.h"
+#include "workloads/demand.h"
+
+namespace vb::core {
+namespace {
+
+class CloudInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CloudInvariants, HoldUnderChurn) {
+  std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  CloudConfig cfg;
+  cfg.topology.num_pods = 1 + static_cast<int>(rng.index(2));
+  cfg.topology.racks_per_pod = 2 + static_cast<int>(rng.index(3));
+  cfg.topology.hosts_per_rack = 2 + static_cast<int>(rng.index(4));
+  cfg.seed = seed;
+  cfg.vbundle.threshold = rng.uniform(0.08, 0.3);
+  cfg.vbundle.update_interval_s = 60.0;
+  cfg.vbundle.rebalance_interval_s = 240.0;
+  VBundleCloud cloud(cfg);
+
+  // Random customers, random VM mixes booted through the protocol.
+  load::DemandModel model;
+  int n_customers = 2 + static_cast<int>(rng.index(3));
+  int booted = 0;
+  for (int c = 0; c < n_customers; ++c) {
+    auto cust = cloud.add_customer("cust-" + std::to_string(c));
+    int vms = 3 + static_cast<int>(rng.index(8));
+    for (int i = 0; i < vms; ++i) {
+      double res = rng.uniform(20.0, 200.0);
+      host::VmSpec spec{res, res + rng.uniform(0.0, 300.0),
+                        64.0 + rng.uniform(0.0, 192.0)};
+      auto r = cloud.boot_vm(cust, spec);
+      if (!r.ok) continue;
+      ++booted;
+      model.assign(r.vm, std::make_unique<load::RandomSlotDemand>(
+                             0.0, spec.limit_mbps, 120.0, rng.next_u64()));
+    }
+  }
+  ASSERT_GT(booted, 0);
+
+  cloud.attach_demand_model(&model, 60.0);
+  cloud.start_rebalancing(0.0, 240.0);
+  cloud.run_until(3600.0);
+
+  // Invariant 1: every booted VM is placed on exactly one live host, and
+  // host membership lists agree with VM records.
+  int counted = 0;
+  for (int h = 0; h < cloud.num_hosts(); ++h) {
+    for (host::VmId id : cloud.fleet().host(h).vms()) {
+      EXPECT_EQ(cloud.fleet().vm(id).host, h);
+      ++counted;
+    }
+  }
+  EXPECT_EQ(counted, booted);
+
+  // Invariant 2: once migrations drain, reservations on hosts equal the
+  // reservations of hosted VMs (no leaked holds), and never exceed
+  // capacity.
+  EXPECT_EQ(cloud.migrations().in_flight(), 0u);
+  for (int h = 0; h < cloud.num_hosts(); ++h) {
+    double expected = 0.0;
+    for (host::VmId id : cloud.fleet().host(h).vms()) {
+      expected += cloud.fleet().vm(id).spec.reservation_mbps;
+    }
+    EXPECT_NEAR(cloud.fleet().host(h).reserved_mbps(), expected, 1e-6) << h;
+    EXPECT_LE(cloud.fleet().host(h).reserved_mbps(),
+              cloud.fleet().host(h).capacity_mbps() + 1e-6)
+        << h;
+  }
+
+  // Invariant 3: shaped allocations never exceed demand, limit, or NIC.
+  for (int h = 0; h < cloud.num_hosts(); ++h) {
+    double total = 0.0;
+    for (const auto& [id, mbps] : cloud.fleet().shape_host(h)) {
+      const host::Vm& v = cloud.fleet().vm(id);
+      EXPECT_LE(mbps, v.capped_demand() + 1e-6);
+      EXPECT_LE(mbps, v.spec.limit_mbps + 1e-6);
+      total += mbps;
+    }
+    EXPECT_LE(total, cloud.fleet().host(h).capacity_mbps() + 1e-6);
+  }
+
+  // Invariant 4: migration bookkeeping is consistent.
+  std::uint64_t in = 0, out = 0;
+  for (int h = 0; h < cloud.num_hosts(); ++h) {
+    in += cloud.agent(h).stats().migrations_in;
+    out += cloud.agent(h).stats().migrations_out;
+  }
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(out, cloud.migrations().completed());
+
+  // Invariant 5: the simulator stays live (periodic tasks pending).
+  EXPECT_FALSE(cloud.simulator().idle());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CloudInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace vb::core

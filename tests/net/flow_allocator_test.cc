@@ -1,0 +1,180 @@
+#include "net/flow_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/traffic_matrix.h"
+
+namespace vb::net {
+namespace {
+
+TopologyConfig cfg(int pods, int racks, int hosts, double oversub = 8.0) {
+  TopologyConfig c;
+  c.num_pods = pods;
+  c.racks_per_pod = racks;
+  c.hosts_per_rack = hosts;
+  c.host_nic_mbps = 1000.0;
+  c.tor_oversubscription = oversub;
+  return c;
+}
+
+TEST(FlowAllocator, EmptyFlows) {
+  Topology t(cfg(1, 2, 2));
+  Allocation a = max_min_allocate(t, {});
+  EXPECT_EQ(a.total_demand_mbps, 0.0);
+  EXPECT_EQ(a.total_allocated_mbps, 0.0);
+}
+
+TEST(FlowAllocator, IntraHostFlowGetsFullDemand) {
+  Topology t(cfg(1, 2, 2));
+  Allocation a = max_min_allocate(t, {{0, 0, 5000.0}});
+  EXPECT_DOUBLE_EQ(a.rate_mbps[0], 5000.0);  // loopback ignores NIC
+  for (double l : a.link_load_mbps) EXPECT_DOUBLE_EQ(l, 0.0);
+}
+
+TEST(FlowAllocator, UncongestedFlowGetsDemand) {
+  Topology t(cfg(1, 2, 2));
+  Allocation a = max_min_allocate(t, {{0, 1, 300.0}});
+  EXPECT_DOUBLE_EQ(a.rate_mbps[0], 300.0);
+  EXPECT_DOUBLE_EQ(a.link_load_mbps[static_cast<std::size_t>(t.host_up(0))],
+                   300.0);
+}
+
+TEST(FlowAllocator, NicLimitsSingleFlow) {
+  Topology t(cfg(1, 2, 2));
+  Allocation a = max_min_allocate(t, {{0, 1, 5000.0}});
+  EXPECT_DOUBLE_EQ(a.rate_mbps[0], 1000.0);  // host NIC
+}
+
+TEST(FlowAllocator, EqualSharesOnSharedBottleneck) {
+  Topology t(cfg(1, 2, 2));
+  // Two flows out of host 0: share its 1000 Mbps NIC equally.
+  Allocation a = max_min_allocate(t, {{0, 1, 5000.0}, {0, 1, 5000.0}});
+  EXPECT_NEAR(a.rate_mbps[0], 500.0, 1e-6);
+  EXPECT_NEAR(a.rate_mbps[1], 500.0, 1e-6);
+}
+
+TEST(FlowAllocator, MaxMinProtectsSmallFlow) {
+  Topology t(cfg(1, 2, 2));
+  // A small flow and a greedy flow share the NIC: the small one gets its
+  // demand, the greedy one takes the rest.
+  Allocation a = max_min_allocate(t, {{0, 1, 100.0}, {0, 1, 5000.0}});
+  EXPECT_NEAR(a.rate_mbps[0], 100.0, 1e-6);
+  EXPECT_NEAR(a.rate_mbps[1], 900.0, 1e-6);
+}
+
+TEST(FlowAllocator, TorUplinkIsTheCrossRackBottleneck) {
+  Topology t(cfg(1, 2, 4));  // ToR uplink = 4*1000/8 = 500
+  // One cross-rack flow from each host of rack 0 to rack 1.
+  std::vector<Flow> flows;
+  for (int h = 0; h < 4; ++h) flows.push_back({h, 4 + h, 1000.0});
+  Allocation a = max_min_allocate(t, flows);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(a.rate_mbps[static_cast<std::size_t>(i)], 125.0, 1e-6);
+  EXPECT_NEAR(a.link_load_mbps[static_cast<std::size_t>(t.tor_up(0))], 500.0,
+              1e-6);
+  EXPECT_NEAR(max_uplink_utilization(t, a), 1.0, 1e-9);
+}
+
+TEST(FlowAllocator, IntraRackTrafficAvoidsUplinks) {
+  Topology t(cfg(1, 2, 4));
+  std::vector<Flow> flows{{0, 1, 800.0}, {2, 3, 800.0}};
+  Allocation a = max_min_allocate(t, flows);
+  EXPECT_NEAR(a.rate_mbps[0], 800.0, 1e-6);
+  EXPECT_DOUBLE_EQ(a.link_load_mbps[static_cast<std::size_t>(t.tor_up(0))], 0.0);
+  EXPECT_DOUBLE_EQ(max_uplink_utilization(t, a), 0.0);
+}
+
+TEST(FlowAllocator, RejectsNegativeDemand) {
+  Topology t(cfg(1, 2, 2));
+  EXPECT_THROW(max_min_allocate(t, {{0, 1, -1.0}}), std::invalid_argument);
+}
+
+TEST(FlowAllocator, ZeroDemandFlowGetsZero) {
+  Topology t(cfg(1, 2, 2));
+  Allocation a = max_min_allocate(t, {{0, 1, 0.0}, {0, 1, 100.0}});
+  EXPECT_DOUBLE_EQ(a.rate_mbps[0], 0.0);
+  EXPECT_DOUBLE_EQ(a.rate_mbps[1], 100.0);
+}
+
+// Property-based: random instances must satisfy the max-min invariants.
+class FlowAllocatorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowAllocatorProperty, InvariantsHold) {
+  Rng rng(GetParam());
+  Topology t(cfg(2, 3, 4, 4.0));
+  std::vector<Flow> flows;
+  int n = static_cast<int>(rng.uniform_int(1, 60));
+  for (int i = 0; i < n; ++i) {
+    flows.push_back(Flow{static_cast<int>(rng.index(24)),
+                         static_cast<int>(rng.index(24)),
+                         rng.uniform(0.0, 1500.0)});
+  }
+  Allocation a = max_min_allocate(t, flows);
+
+  // (1) 0 <= rate <= demand.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_GE(a.rate_mbps[i], -1e-6);
+    EXPECT_LE(a.rate_mbps[i], flows[i].demand_mbps + 1e-6);
+  }
+  // (2) No link above capacity.
+  for (int l = 0; l < t.num_links(); ++l) {
+    EXPECT_LE(a.link_load_mbps[static_cast<std::size_t>(l)],
+              t.link_capacity_mbps(l) + 1e-5)
+        << t.link_name(l);
+  }
+  // (3) Pareto efficiency for throttled flows: every flow below its demand
+  // crosses at least one saturated link.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].src == flows[i].dst) continue;
+    if (a.rate_mbps[i] >= flows[i].demand_mbps - 1e-5) continue;
+    bool bottlenecked = false;
+    for (LinkId l : t.path(flows[i].src, flows[i].dst)) {
+      if (a.link_load_mbps[static_cast<std::size_t>(l)] >=
+          t.link_capacity_mbps(l) - 1e-4) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(bottlenecked) << "flow " << i << " throttled with headroom";
+  }
+  // (4) Totals consistent.
+  double sum = 0;
+  for (double r : a.rate_mbps) sum += r;
+  EXPECT_NEAR(sum, a.total_allocated_mbps, 1e-6);
+  EXPECT_LE(a.total_allocated_mbps, a.total_demand_mbps + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowAllocatorProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           144, 233));
+
+TEST(TrafficMatrix, LocalityBreakdownFractionsSumToOne) {
+  Topology t(cfg(2, 2, 2));
+  std::vector<Flow> flows{
+      {0, 0, 100.0},  // same host
+      {0, 1, 100.0},  // same rack
+      {0, 2, 100.0},  // same pod
+      {0, 4, 100.0},  // cross pod
+  };
+  LocalityBreakdown b = locality_breakdown(t, flows);
+  EXPECT_NEAR(b.same_host + b.same_rack + b.same_pod + b.cross_pod, 1.0, 1e-9);
+  EXPECT_NEAR(b.same_host, 0.25, 1e-9);
+  EXPECT_NEAR(b.cross_rack(), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(b.total_demand_mbps, 400.0);
+}
+
+TEST(TrafficMatrix, OfferedBisectionCountsCrossRackOnly) {
+  Topology t(cfg(2, 2, 2));
+  std::vector<Flow> flows{{0, 1, 100.0}, {0, 2, 200.0}, {0, 4, 300.0}};
+  EXPECT_DOUBLE_EQ(offered_bisection_mbps(t, flows), 500.0);
+}
+
+TEST(TrafficMatrix, MeanTorUtilization) {
+  Topology t(cfg(1, 2, 2, 2.0));  // ToR uplink = 2*1000/2 = 1000
+  Allocation a = max_min_allocate(t, {{0, 2, 500.0}});
+  // tor_up[0] and tor_down[1] each at 0.5; other two at 0 -> mean 0.25.
+  EXPECT_NEAR(mean_tor_uplink_utilization(t, a), 0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace vb::net

@@ -1,0 +1,209 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vb::net {
+namespace {
+
+TopologyConfig small_cfg() {
+  TopologyConfig cfg;
+  cfg.num_pods = 2;
+  cfg.racks_per_pod = 3;
+  cfg.hosts_per_rack = 4;
+  cfg.host_nic_mbps = 1000.0;
+  cfg.tor_oversubscription = 8.0;
+  cfg.agg_oversubscription = 2.0;
+  return cfg;
+}
+
+TEST(Topology, Dimensions) {
+  Topology t(small_cfg());
+  EXPECT_EQ(t.num_hosts(), 24);
+  EXPECT_EQ(t.num_racks(), 6);
+  EXPECT_EQ(t.num_pods(), 2);
+  EXPECT_EQ(t.num_links(), 2 * 24 + 2 * 6 + 2 * 2);
+}
+
+TEST(Topology, RackAndPodMapping) {
+  Topology t(small_cfg());
+  EXPECT_EQ(t.rack_of(0), 0);
+  EXPECT_EQ(t.rack_of(3), 0);
+  EXPECT_EQ(t.rack_of(4), 1);
+  EXPECT_EQ(t.rack_of(23), 5);
+  EXPECT_EQ(t.pod_of(0), 0);
+  EXPECT_EQ(t.pod_of(11), 0);
+  EXPECT_EQ(t.pod_of(12), 1);
+  EXPECT_EQ(t.slot_in_rack(5), 1);
+  EXPECT_EQ(t.rack_first_host(2), 8);
+}
+
+TEST(Topology, ProximityTiers) {
+  Topology t(small_cfg());
+  EXPECT_EQ(t.proximity(3, 3), Proximity::kSameHost);
+  EXPECT_EQ(t.proximity(0, 3), Proximity::kSameRack);
+  EXPECT_EQ(t.proximity(0, 4), Proximity::kSamePod);
+  EXPECT_EQ(t.proximity(0, 12), Proximity::kCrossPod);
+}
+
+TEST(Topology, LatencyMonotoneInDistance) {
+  Topology t(small_cfg());
+  double same_host = t.latency_s(1, 1);
+  double same_rack = t.latency_s(0, 1);
+  double same_pod = t.latency_s(0, 4);
+  double cross_pod = t.latency_s(0, 12);
+  EXPECT_LT(same_host, same_rack);
+  EXPECT_LT(same_rack, same_pod);
+  EXPECT_LT(same_pod, cross_pod);
+  EXPECT_DOUBLE_EQ(cross_pod, small_cfg().cross_pod_ms / 1000.0);
+}
+
+TEST(Topology, PathSameHostIsEmpty) {
+  Topology t(small_cfg());
+  EXPECT_TRUE(t.path(5, 5).empty());
+}
+
+TEST(Topology, PathSameRackUsesOnlyHostLinks) {
+  Topology t(small_cfg());
+  auto p = t.path(0, 1);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], t.host_up(0));
+  EXPECT_EQ(p[1], t.host_down(1));
+}
+
+TEST(Topology, PathCrossRackSamePodUsesTorLinks) {
+  Topology t(small_cfg());
+  auto p = t.path(0, 4);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0], t.host_up(0));
+  EXPECT_EQ(p[1], t.tor_up(0));
+  EXPECT_EQ(p[2], t.tor_down(1));
+  EXPECT_EQ(p[3], t.host_down(4));
+}
+
+TEST(Topology, PathCrossPodUsesAggLinks) {
+  Topology t(small_cfg());
+  auto p = t.path(0, 12);
+  ASSERT_EQ(p.size(), 6u);
+  EXPECT_EQ(p[0], t.host_up(0));
+  EXPECT_EQ(p[1], t.tor_up(0));
+  EXPECT_EQ(p[2], t.agg_up(0));
+  EXPECT_EQ(p[3], t.agg_down(1));
+  EXPECT_EQ(p[4], t.tor_down(3));
+  EXPECT_EQ(p[5], t.host_down(12));
+}
+
+TEST(Topology, CapacitiesFollowOversubscription) {
+  Topology t(small_cfg());
+  EXPECT_DOUBLE_EQ(t.link_capacity_mbps(t.host_up(0)), 1000.0);
+  // ToR uplink: 4 hosts * 1000 / 8 = 500.
+  EXPECT_DOUBLE_EQ(t.link_capacity_mbps(t.tor_up(0)), 500.0);
+  // Agg uplink: 500 * 3 racks / 2 = 750.
+  EXPECT_DOUBLE_EQ(t.link_capacity_mbps(t.agg_up(0)), 750.0);
+}
+
+TEST(Topology, BisectionLinksAreUplinksOnly) {
+  Topology t(small_cfg());
+  EXPECT_FALSE(t.is_bisection_link(t.host_up(0)));
+  EXPECT_FALSE(t.is_bisection_link(t.host_down(3)));
+  EXPECT_TRUE(t.is_bisection_link(t.tor_up(0)));
+  EXPECT_TRUE(t.is_bisection_link(t.tor_down(5)));
+  EXPECT_TRUE(t.is_bisection_link(t.agg_up(1)));
+}
+
+TEST(Topology, LinkIdsAreDenseAndUnique) {
+  Topology t(small_cfg());
+  std::set<LinkId> ids;
+  for (int h = 0; h < t.num_hosts(); ++h) {
+    ids.insert(t.host_up(h));
+    ids.insert(t.host_down(h));
+  }
+  for (int r = 0; r < t.num_racks(); ++r) {
+    ids.insert(t.tor_up(r));
+    ids.insert(t.tor_down(r));
+  }
+  for (int p = 0; p < t.num_pods(); ++p) {
+    ids.insert(t.agg_up(p));
+    ids.insert(t.agg_down(p));
+  }
+  EXPECT_EQ(static_cast<int>(ids.size()), t.num_links());
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), t.num_links() - 1);
+}
+
+TEST(Topology, LinkNames) {
+  Topology t(small_cfg());
+  EXPECT_EQ(t.link_name(t.host_up(2)), "host_up[2]");
+  EXPECT_EQ(t.link_name(t.tor_down(1)), "tor_down[1]");
+  EXPECT_EQ(t.link_name(t.agg_up(0)), "agg_up[0]");
+  EXPECT_THROW(t.link_name(-1), std::out_of_range);
+  EXPECT_THROW(t.link_capacity_mbps(t.num_links()), std::out_of_range);
+}
+
+TEST(Topology, BisectionCapacitySumsTorLinks) {
+  Topology t(small_cfg());
+  // 6 racks * (500 up + 500 down).
+  EXPECT_DOUBLE_EQ(t.bisection_capacity_mbps(), 6000.0);
+}
+
+TEST(Topology, RejectsBadConfig) {
+  TopologyConfig cfg = small_cfg();
+  cfg.num_pods = 0;
+  EXPECT_THROW(Topology{cfg}, std::invalid_argument);
+  cfg = small_cfg();
+  cfg.host_nic_mbps = -1;
+  EXPECT_THROW(Topology{cfg}, std::invalid_argument);
+  cfg = small_cfg();
+  cfg.tor_oversubscription = 0;
+  EXPECT_THROW(Topology{cfg}, std::invalid_argument);
+}
+
+TEST(Topology, PaperTestbedShape) {
+  Topology t = Topology::paper_testbed();
+  EXPECT_EQ(t.num_racks(), 4);
+  EXPECT_EQ(t.num_hosts(), 16);
+  EXPECT_DOUBLE_EQ(t.link_capacity_mbps(t.host_up(0)), 1000.0);
+  EXPECT_DOUBLE_EQ(t.link_capacity_mbps(t.tor_up(0)), 500.0);  // 8:1 oversub
+}
+
+// Parameterized sweep: path endpoints and link membership stay consistent
+// for a variety of shapes.
+class TopologyShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TopologyShapes, PathsAreWellFormed) {
+  auto [pods, racks, hosts] = GetParam();
+  TopologyConfig cfg;
+  cfg.num_pods = pods;
+  cfg.racks_per_pod = racks;
+  cfg.hosts_per_rack = hosts;
+  Topology t(cfg);
+  for (int a = 0; a < t.num_hosts(); a += 3) {
+    for (int b = 0; b < t.num_hosts(); b += 5) {
+      auto p = t.path(a, b);
+      if (a == b) {
+        EXPECT_TRUE(p.empty());
+        continue;
+      }
+      EXPECT_EQ(p.front(), t.host_up(a));
+      EXPECT_EQ(p.back(), t.host_down(b));
+      for (LinkId l : p) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, t.num_links());
+        EXPECT_GT(t.link_capacity_mbps(l), 0.0);
+      }
+      // Symmetric lengths.
+      EXPECT_EQ(p.size(), t.path(b, a).size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TopologyShapes,
+                         ::testing::Values(std::make_tuple(1, 1, 2),
+                                           std::make_tuple(1, 4, 4),
+                                           std::make_tuple(2, 2, 8),
+                                           std::make_tuple(3, 5, 2),
+                                           std::make_tuple(4, 4, 16)));
+
+}  // namespace
+}  // namespace vb::net

@@ -1,0 +1,141 @@
+#include "pastry/leaf_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace vb::pastry {
+namespace {
+
+NodeHandle h(std::uint64_t id, int host = 0) { return NodeHandle{U128{id}, host}; }
+
+TEST(LeafSet, RejectsSelfAndDuplicates) {
+  LeafSet ls(U128{100}, 2);
+  EXPECT_FALSE(ls.consider(h(100)));
+  EXPECT_TRUE(ls.consider(h(101)));
+  EXPECT_FALSE(ls.consider(h(101)));
+  EXPECT_EQ(ls.size(), 1u);
+}
+
+TEST(LeafSet, KeepsClosestPerSide) {
+  LeafSet ls(U128{100}, 2);
+  EXPECT_TRUE(ls.consider(h(110)));
+  EXPECT_TRUE(ls.consider(h(120)));
+  EXPECT_TRUE(ls.consider(h(105)));  // closer: evicts 120
+  EXPECT_FALSE(ls.contains(h(120)));
+  EXPECT_TRUE(ls.contains(h(105)));
+  EXPECT_TRUE(ls.contains(h(110)));
+  // Far candidate on a full side is rejected.
+  EXPECT_FALSE(ls.consider(h(130)));
+}
+
+TEST(LeafSet, SidesAreIndependent) {
+  LeafSet ls(U128{100}, 2);
+  ls.consider(h(101));
+  ls.consider(h(102));
+  EXPECT_TRUE(ls.consider(h(99)));  // ccw side has room
+  EXPECT_TRUE(ls.consider(h(98)));
+  EXPECT_EQ(ls.size(), 4u);
+}
+
+TEST(LeafSet, WrapAroundDistances) {
+  LeafSet ls(U128{5}, 2);
+  // max() is 6 steps counter-clockwise from 5.
+  EXPECT_TRUE(ls.consider(h(U128::max().lo())));  // NOTE: id = 2^64-1 limb only
+  // Build a handle with the true max id.
+  NodeHandle maxh{U128::max(), 0};
+  LeafSet ls2(U128{5}, 2);
+  EXPECT_TRUE(ls2.consider(maxh));
+  EXPECT_TRUE(ls2.covers(U128{2}));
+  NodeHandle owner{U128{5}, 0};
+  // Key 3 is closer to 5 than to max.
+  EXPECT_EQ(ls2.closest(U128{3}, owner).id, U128{5});
+  // Key just above max is closer to max.
+  EXPECT_EQ(ls2.closest(U128::max() - U128{1}, owner).id, U128::max());
+}
+
+TEST(LeafSet, CoversWhenUnderfull) {
+  LeafSet ls(U128{1000}, 2);
+  ls.consider(h(1010));
+  // CCW side empty -> everything on that side is covered.
+  EXPECT_TRUE(ls.covers(U128{5}));
+  EXPECT_TRUE(ls.covers(U128{1005}));
+}
+
+TEST(LeafSet, CoverageBoundedWhenFull) {
+  LeafSet ls(U128{1000}, 2);
+  ls.consider(h(1010));
+  ls.consider(h(1020));
+  ls.consider(h(990));
+  ls.consider(h(980));
+  EXPECT_TRUE(ls.covers(U128{1015}));
+  EXPECT_TRUE(ls.covers(U128{1020}));
+  EXPECT_FALSE(ls.covers(U128{1021}));
+  EXPECT_TRUE(ls.covers(U128{985}));
+  EXPECT_FALSE(ls.covers(U128{979}));
+}
+
+TEST(LeafSet, ClosestAmongMembersAndOwner) {
+  LeafSet ls(U128{1000}, 2);
+  NodeHandle owner{U128{1000}, 7};
+  ls.consider(h(1010, 1));
+  ls.consider(h(990, 2));
+  EXPECT_EQ(ls.closest(U128{1009}, owner).id, U128{1010});
+  EXPECT_EQ(ls.closest(U128{992}, owner).id, U128{990});
+  EXPECT_EQ(ls.closest(U128{1001}, owner).id, U128{1000});
+}
+
+TEST(LeafSet, RemoveShrinksSet) {
+  LeafSet ls(U128{100}, 2);
+  ls.consider(h(110));
+  ls.consider(h(90));
+  EXPECT_TRUE(ls.remove(h(110)));
+  EXPECT_FALSE(ls.remove(h(110)));
+  EXPECT_EQ(ls.size(), 1u);
+  EXPECT_FALSE(ls.contains(h(110)));
+}
+
+TEST(LeafSet, FarthestHelpers) {
+  LeafSet ls(U128{100}, 3);
+  EXPECT_FALSE(ls.farthest_cw().valid());
+  ls.consider(h(110));
+  ls.consider(h(105));
+  ls.consider(h(95));
+  EXPECT_EQ(ls.farthest_cw().id, U128{110});
+  EXPECT_EQ(ls.farthest_ccw().id, U128{95});
+}
+
+TEST(LeafSet, MatchesSortedGroundTruth) {
+  // Property: after inserting many ids, the leaf set must hold exactly the
+  // `half` nearest ids on each side.
+  Rng rng(99);
+  const U128 owner{1ULL << 40};
+  LeafSet ls(owner, 4);
+  std::vector<U128> ids;
+  for (int i = 0; i < 200; ++i) {
+    U128 id = rng.next_u128();
+    if (id == owner) continue;
+    ids.push_back(id);
+    ls.consider(NodeHandle{id, i});
+  }
+  auto cw_dist = [&](const U128& x) { return x - owner; };
+  auto ccw_dist = [&](const U128& x) { return owner - x; };
+  std::vector<U128> cw(ids), ccw(ids);
+  std::erase_if(cw, [&](const U128& x) { return !(cw_dist(x) <= ccw_dist(x)); });
+  std::erase_if(ccw, [&](const U128& x) { return cw_dist(x) <= ccw_dist(x); });
+  std::sort(cw.begin(), cw.end(),
+            [&](const U128& a, const U128& b) { return cw_dist(a) < cw_dist(b); });
+  std::sort(ccw.begin(), ccw.end(), [&](const U128& a, const U128& b) {
+    return ccw_dist(a) < ccw_dist(b);
+  });
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ls.contains(NodeHandle{cw[static_cast<std::size_t>(i)], 0}));
+    EXPECT_TRUE(ls.contains(NodeHandle{ccw[static_cast<std::size_t>(i)], 0}));
+  }
+  EXPECT_EQ(ls.size(), 8u);
+}
+
+}  // namespace
+}  // namespace vb::pastry

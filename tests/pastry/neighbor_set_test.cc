@@ -1,0 +1,101 @@
+#include "pastry/neighbor_set.h"
+
+#include <gtest/gtest.h>
+
+namespace vb::pastry {
+namespace {
+
+net::Topology topo() {
+  net::TopologyConfig cfg;
+  cfg.num_pods = 2;
+  cfg.racks_per_pod = 2;
+  cfg.hosts_per_rack = 4;
+  return net::Topology(cfg);
+}
+
+NodeHandle h(std::uint64_t id, int host) { return NodeHandle{U128{id}, host}; }
+
+TEST(NeighborSet, OrdersByProximityTier) {
+  net::Topology t = topo();
+  NeighborSet ns(0, 8);
+  ns.consider(h(1, 12), t);  // cross pod
+  ns.consider(h(2, 5), t);   // same pod
+  ns.consider(h(3, 1), t);   // same rack
+  ASSERT_EQ(ns.size(), 3u);
+  EXPECT_EQ(ns.members()[0].host, 1);
+  EXPECT_EQ(ns.members()[1].host, 5);
+  EXPECT_EQ(ns.members()[2].host, 12);
+}
+
+TEST(NeighborSet, TieBrokenByHostDelta) {
+  net::Topology t = topo();
+  NeighborSet ns(1, 8);
+  ns.consider(h(10, 3), t);  // same rack, delta 2
+  ns.consider(h(11, 2), t);  // same rack, delta 1
+  EXPECT_EQ(ns.members()[0].host, 2);
+  EXPECT_EQ(ns.members()[1].host, 3);
+}
+
+TEST(NeighborSet, RemoteSlotsEvictFarthestWhenFull) {
+  net::Topology t = topo();
+  NeighborSet ns(0, 2);  // 1 local + 1 remote slot
+  ns.consider(h(1, 12), t);  // cross pod -> remote slot
+  EXPECT_EQ(ns.size(), 1u);
+  ns.consider(h(2, 5), t);   // same pod is closer: evicts the cross-pod one
+  EXPECT_EQ(ns.size(), 1u);
+  EXPECT_TRUE(ns.contains(h(2, 5)));
+  EXPECT_FALSE(ns.contains(h(1, 12)));
+  ns.consider(h(3, 1), t);  // same rack -> local slot
+  EXPECT_EQ(ns.size(), 2u);
+  EXPECT_TRUE(ns.contains(h(3, 1)));
+  // A far candidate is rejected outright (remote slot holds a closer one).
+  EXPECT_FALSE(ns.consider(h(4, 13), t));
+}
+
+TEST(NeighborSet, RemoteQuotaGuaranteesCrossRackCoverage) {
+  // Big rack: a pure nearest-M set would fill with rack peers; the quota
+  // must keep room for out-of-rack neighbors so spillover can escape.
+  net::TopologyConfig cfg;
+  cfg.num_pods = 1;
+  cfg.racks_per_pod = 4;
+  cfg.hosts_per_rack = 40;
+  net::Topology t(cfg);
+  NeighborSet ns(0, 16, 4);
+  for (int peer = 1; peer < t.num_hosts(); ++peer) {
+    ns.consider(h(static_cast<std::uint64_t>(peer), peer), t);
+  }
+  int local = 0, remote = 0;
+  for (const NodeHandle& n : ns.members()) {
+    if (t.rack_of(n.host) == 0) {
+      ++local;
+    } else {
+      ++remote;
+    }
+  }
+  EXPECT_EQ(local, 12);
+  EXPECT_EQ(remote, 4);
+}
+
+TEST(NeighborSet, NoDuplicates) {
+  net::Topology t = topo();
+  NeighborSet ns(0, 4);
+  EXPECT_TRUE(ns.consider(h(1, 2), t));
+  EXPECT_FALSE(ns.consider(h(1, 2), t));
+  EXPECT_EQ(ns.size(), 1u);
+}
+
+TEST(NeighborSet, Remove) {
+  net::Topology t = topo();
+  NeighborSet ns(0, 4);
+  ns.consider(h(1, 2), t);
+  EXPECT_TRUE(ns.remove(h(1, 2)));
+  EXPECT_FALSE(ns.remove(h(1, 2)));
+  EXPECT_EQ(ns.size(), 0u);
+}
+
+TEST(NeighborSet, RejectsBadCapacity) {
+  EXPECT_THROW(NeighborSet(0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vb::pastry

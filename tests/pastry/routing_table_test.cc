@@ -1,0 +1,96 @@
+#include "pastry/routing_table.h"
+
+#include <gtest/gtest.h>
+
+namespace vb::pastry {
+namespace {
+
+const U128 kOwner = U128::from_hex("a0000000000000000000000000000000");
+
+NodeHandle h(const std::string& hex, int host = 0) {
+  return NodeHandle{U128::from_hex(hex), host};
+}
+
+TEST(RoutingTable, IgnoresSelf) {
+  RoutingTable rt(kOwner);
+  EXPECT_FALSE(rt.consider(NodeHandle{kOwner, 1}, 0));
+  EXPECT_EQ(rt.size(), 0u);
+}
+
+TEST(RoutingTable, PlacesByPrefixRowAndDigitColumn) {
+  RoutingTable rt(kOwner);
+  // Shares 0 digits, first digit 'b' -> row 0, col 11.
+  NodeHandle n = h("b0000000000000000000000000000000");
+  EXPECT_TRUE(rt.consider(n, 2));
+  EXPECT_EQ(rt.lookup(0, 11).value(), n);
+  EXPECT_FALSE(rt.lookup(0, 12).has_value());
+  // Shares 1 digit ('a'), next digit '5' -> row 1, col 5.
+  NodeHandle m = h("a5000000000000000000000000000000");
+  EXPECT_TRUE(rt.consider(m, 1));
+  EXPECT_EQ(rt.lookup(1, 5).value(), m);
+}
+
+TEST(RoutingTable, KeepsCloserCandidateOnConflict) {
+  RoutingTable rt(kOwner);
+  NodeHandle far = h("b0000000000000000000000000000001", 10);
+  NodeHandle near = h("b0000000000000000000000000000002", 1);
+  EXPECT_TRUE(rt.consider(far, 3));
+  EXPECT_FALSE(rt.consider(near, 3));  // same proximity: no churn
+  EXPECT_EQ(rt.lookup(0, 11).value(), far);
+  EXPECT_TRUE(rt.consider(near, 1));  // strictly closer: replaces
+  EXPECT_EQ(rt.lookup(0, 11).value(), near);
+}
+
+TEST(RoutingTable, UpdatesProximityOfExistingEntry) {
+  RoutingTable rt(kOwner);
+  NodeHandle n = h("b0000000000000000000000000000000");
+  EXPECT_TRUE(rt.consider(n, 3));
+  EXPECT_TRUE(rt.consider(n, 1));   // proximity improved
+  EXPECT_FALSE(rt.consider(n, 2));  // not an improvement
+  EXPECT_EQ(rt.size(), 1u);
+}
+
+TEST(RoutingTable, RemoveClearsCell) {
+  RoutingTable rt(kOwner);
+  NodeHandle n = h("b0000000000000000000000000000000");
+  rt.consider(n, 1);
+  EXPECT_TRUE(rt.remove(n));
+  EXPECT_FALSE(rt.remove(n));
+  EXPECT_FALSE(rt.lookup(0, 11).has_value());
+  EXPECT_EQ(rt.size(), 0u);
+}
+
+TEST(RoutingTable, RemoveOfDifferentNodeInSameCellIsNoop) {
+  RoutingTable rt(kOwner);
+  NodeHandle a = h("b0000000000000000000000000000001");
+  NodeHandle b = h("b0000000000000000000000000000002");
+  rt.consider(a, 1);
+  EXPECT_FALSE(rt.remove(b));
+  EXPECT_EQ(rt.size(), 1u);
+}
+
+TEST(RoutingTable, AllEntriesAndRows) {
+  RoutingTable rt(kOwner);
+  NodeHandle a = h("b0000000000000000000000000000000");
+  NodeHandle b = h("c0000000000000000000000000000000");
+  NodeHandle c = h("a5000000000000000000000000000000");
+  rt.consider(a, 1);
+  rt.consider(b, 1);
+  rt.consider(c, 1);
+  EXPECT_EQ(rt.all_entries().size(), 3u);
+  EXPECT_EQ(rt.row_entries(0).size(), 2u);
+  EXPECT_EQ(rt.row_entries(1).size(), 1u);
+  EXPECT_TRUE(rt.row_entries(5).empty());
+  EXPECT_TRUE(rt.row_entries(-1).empty());
+  EXPECT_TRUE(rt.row_entries(32).empty());
+}
+
+TEST(RoutingTable, LookupOutOfRangeIsEmpty) {
+  RoutingTable rt(kOwner);
+  EXPECT_FALSE(rt.lookup(-1, 0).has_value());
+  EXPECT_FALSE(rt.lookup(0, 16).has_value());
+  EXPECT_FALSE(rt.lookup(32, 0).has_value());
+}
+
+}  // namespace
+}  // namespace vb::pastry

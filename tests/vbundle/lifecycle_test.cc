@@ -1,0 +1,95 @@
+// VM lifecycle through the cloud facade: shutdown frees capacity that the
+// placement protocol can immediately reuse, and the rebalancing service
+// keeps functioning around retired instances.
+#include <gtest/gtest.h>
+
+#include "vbundle/cloud.h"
+
+namespace vb::core {
+namespace {
+
+CloudConfig cfg() {
+  CloudConfig c;
+  c.topology.num_pods = 1;
+  c.topology.racks_per_pod = 2;
+  c.topology.hosts_per_rack = 4;
+  c.seed = 6;
+  c.vbundle.threshold = 0.15;
+  c.vbundle.update_interval_s = 60.0;
+  c.vbundle.rebalance_interval_s = 240.0;
+  return c;
+}
+
+TEST(Lifecycle, ShutdownFreesCapacityForTheSameKey) {
+  VBundleCloud cloud(cfg());
+  auto c = cloud.add_customer("T");
+  // Fill the key owner completely.
+  auto r1 = cloud.boot_vm(c, host::VmSpec{900, 1000});
+  ASSERT_TRUE(r1.ok);
+  int anchor = r1.host;
+  auto r2 = cloud.boot_vm(c, host::VmSpec{900, 1000});
+  ASSERT_TRUE(r2.ok);
+  EXPECT_NE(r2.host, anchor);  // owner was full, spilled
+
+  cloud.shutdown_vm(r1.vm);
+  auto r3 = cloud.boot_vm(c, host::VmSpec{900, 1000});
+  ASSERT_TRUE(r3.ok);
+  EXPECT_EQ(r3.host, anchor);  // freed capacity reused at the key owner
+}
+
+TEST(Lifecycle, ShutdownVmNoLongerCountsInUtilization) {
+  VBundleCloud cloud(cfg());
+  auto c = cloud.add_customer("T");
+  auto r = cloud.boot_vm(c, host::VmSpec{100, 500});
+  ASSERT_TRUE(r.ok);
+  cloud.fleet().set_demand(r.vm, 400.0);
+  EXPECT_GT(cloud.fleet().host_utilization(r.host), 0.0);
+  cloud.shutdown_vm(r.vm);
+  EXPECT_DOUBLE_EQ(cloud.fleet().host_utilization(r.host), 0.0);
+}
+
+TEST(Lifecycle, RebalancingRunsOnAfterShutdowns) {
+  VBundleCloud cloud(cfg());
+  auto c = cloud.add_customer("T");
+  std::vector<host::VmId> hot;
+  for (int i = 0; i < 6; ++i) {
+    host::VmId v = cloud.fleet().create_vm(c, host::VmSpec{50, 400});
+    ASSERT_TRUE(cloud.fleet().place(v, 0));
+    cloud.fleet().set_demand(v, 150.0);
+    hot.push_back(v);
+  }
+  for (int h = 1; h < 8; ++h) {
+    host::VmId v = cloud.fleet().create_vm(c, host::VmSpec{50, 400});
+    ASSERT_TRUE(cloud.fleet().place(v, h));
+    cloud.fleet().set_demand(v, 50.0);
+  }
+  cloud.start_rebalancing(0.0, 240.0);
+  cloud.run_until(200.0);
+  // Retire two of the hot VMs mid-flight (they are not migrating yet:
+  // first shedding round hasn't fired).
+  cloud.shutdown_vm(hot[0]);
+  cloud.shutdown_vm(hot[1]);
+  cloud.run_until(2400.0);
+  EXPECT_EQ(cloud.migrations().in_flight(), 0u);
+  // Utilization settles under the ceiling with the remaining VMs.
+  auto avg = cloud.agent(0).cluster_avg_utilization();
+  ASSERT_TRUE(avg.has_value());
+  EXPECT_LE(cloud.fleet().host_utilization(0),
+            *avg + cloud.vbundle_config().threshold + 1e-9);
+}
+
+TEST(Lifecycle, TaggedGroupsRetireIndependently) {
+  VBundleCloud cloud(cfg());
+  auto c = cloud.add_customer("T");
+  auto web = cloud.boot_vm_tagged(c, host::VmSpec{100, 200}, "web");
+  auto batch = cloud.boot_vm_tagged(c, host::VmSpec{100, 200}, "batch");
+  ASSERT_TRUE(web.ok);
+  ASSERT_TRUE(batch.ok);
+  cloud.shutdown_vm(batch.vm);
+  EXPECT_TRUE(cloud.fleet().destroyed(batch.vm));
+  EXPECT_FALSE(cloud.fleet().destroyed(web.vm));
+  EXPECT_EQ(cloud.fleet().vm(web.vm).host, web.host);
+}
+
+}  // namespace
+}  // namespace vb::core

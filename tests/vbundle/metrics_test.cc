@@ -1,0 +1,108 @@
+#include "vbundle/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace vb::core {
+namespace {
+
+net::Topology topo() {
+  net::TopologyConfig c;
+  c.num_pods = 2;
+  c.racks_per_pod = 2;
+  c.hosts_per_rack = 2;  // 8 hosts, racks {0,1},{2,3}... pods of 4 hosts
+  return net::Topology(c);
+}
+
+TEST(Metrics, FootprintCountsDistinctLevels) {
+  net::Topology t = topo();
+  host::Fleet f(t.num_hosts(), 1000.0);
+  std::vector<host::VmId> vms;
+  // Two VMs on host 0, one on host 1 (same rack), one on host 4 (other pod).
+  for (int h : {0, 0, 1, 4}) {
+    host::VmId v = f.create_vm(0, host::VmSpec{10, 20});
+    EXPECT_TRUE(f.place(v, h));
+    vms.push_back(v);
+  }
+  // One unplaced VM is skipped.
+  vms.push_back(f.create_vm(0, host::VmSpec{10, 20}));
+
+  PlacementFootprint fp = placement_footprint(t, f, vms);
+  EXPECT_EQ(fp.vms, 4);
+  EXPECT_EQ(fp.hosts_used, 3);
+  EXPECT_EQ(fp.racks_used, 2);
+  EXPECT_EQ(fp.pods_used, 2);
+  EXPECT_DOUBLE_EQ(fp.max_rack_share, 0.75);  // 3 of 4 in rack 0
+  EXPECT_EQ(fp.per_rack.at(0), 3);
+  EXPECT_EQ(fp.per_rack.at(2), 1);
+}
+
+TEST(Metrics, FootprintOfNothing) {
+  net::Topology t = topo();
+  host::Fleet f(t.num_hosts(), 1000.0);
+  PlacementFootprint fp = placement_footprint(t, f, {});
+  EXPECT_EQ(fp.vms, 0);
+  EXPECT_DOUBLE_EQ(fp.max_rack_share, 0.0);
+}
+
+TEST(Metrics, UtilizationReportMatchesFleet) {
+  host::Fleet f(4, 1000.0);
+  for (int h = 0; h < 4; ++h) {
+    host::VmId v = f.create_vm(0, host::VmSpec{100, 1000});
+    EXPECT_TRUE(f.place(v, h));
+    f.set_demand(v, 100.0 * (h + 1));
+  }
+  UtilizationReport r = utilization_report(f);
+  EXPECT_EQ(r.snapshot.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.summary.mean, 0.25);
+  EXPECT_EQ(r.hosts_over_mean_plus(0.1), 1);   // only 0.4
+  EXPECT_EQ(r.hosts_over_mean_plus(0.0), 2);   // 0.3 and 0.4
+}
+
+TEST(Metrics, SatisfactionReport) {
+  host::Fleet f(1, 1000.0);
+  host::VmId a = f.create_vm(0, host::VmSpec{500, 900});
+  host::VmId b = f.create_vm(0, host::VmSpec{500, 900});
+  ASSERT_TRUE(f.place(a, 0));
+  ASSERT_TRUE(f.place(b, 0));
+  f.set_demand(a, 800.0);
+  f.set_demand(b, 800.0);
+  SatisfactionReport r = satisfaction_report(f);
+  EXPECT_DOUBLE_EQ(r.demand_mbps, 1600.0);
+  EXPECT_DOUBLE_EQ(r.satisfied_mbps, 1000.0);  // NIC bound
+  EXPECT_DOUBLE_EQ(r.gap_mbps(), 600.0);
+  EXPECT_NEAR(r.satisfaction(), 0.625, 1e-9);
+}
+
+TEST(Metrics, SatisfactionWithNoDemandIsOne) {
+  host::Fleet f(1, 1000.0);
+  EXPECT_DOUBLE_EQ(satisfaction_report(f).satisfaction(), 1.0);
+}
+
+TEST(Metrics, StarvedVmsIdentifiesTheHungry) {
+  host::Fleet f(2, 1000.0);
+  host::VmId a = f.create_vm(0, host::VmSpec{800, 1000});
+  host::VmId b = f.create_vm(0, host::VmSpec{100, 1000});
+  host::VmId c = f.create_vm(0, host::VmSpec{100, 1000});
+  ASSERT_TRUE(f.place(a, 0));
+  ASSERT_TRUE(f.place(b, 0));
+  ASSERT_TRUE(f.place(c, 1));
+  f.set_demand(a, 800.0);  // guaranteed
+  f.set_demand(b, 600.0);  // only ~200 left to borrow
+  f.set_demand(c, 500.0);  // alone on host 1: satisfied
+  auto starved = starved_vms(f);
+  ASSERT_EQ(starved.size(), 1u);
+  EXPECT_EQ(starved[0], b);
+}
+
+TEST(Metrics, StarvedVmsEmptyWhenProvisioned) {
+  host::Fleet f(2, 1000.0);
+  for (int h = 0; h < 2; ++h) {
+    host::VmId v = f.create_vm(0, host::VmSpec{100, 400});
+    ASSERT_TRUE(f.place(v, h));
+    f.set_demand(v, 300.0);
+  }
+  EXPECT_TRUE(starved_vms(f).empty());
+}
+
+}  // namespace
+}  // namespace vb::core

@@ -1,0 +1,178 @@
+// Multi-metric shuffling (§VII future-work extension): CPU joins bandwidth
+// as a balanced resource; memory participates in admission control.
+#include <gtest/gtest.h>
+
+#include "vbundle/cloud.h"
+
+namespace vb::core {
+namespace {
+
+CloudConfig mm_config() {
+  CloudConfig cfg;
+  cfg.topology.num_pods = 1;
+  cfg.topology.racks_per_pod = 2;
+  cfg.topology.hosts_per_rack = 4;  // 8 hosts
+  cfg.topology.host_nic_mbps = 1000.0;
+  cfg.host_cpu_capacity = 16.0;   // 16 compute units per host
+  cfg.host_mem_capacity_mb = 4096.0;
+  cfg.seed = 42;
+  cfg.vbundle.threshold = 0.15;
+  cfg.vbundle.balance_cpu = true;
+  return cfg;
+}
+
+host::VmSpec cpu_vm() {
+  host::VmSpec s;
+  s.reservation_mbps = 20;
+  s.limit_mbps = 100;
+  s.ram_mb = 128;
+  s.cpu_reservation = 1.0;
+  s.cpu_limit = 4.0;
+  return s;
+}
+
+TEST(MultiMetric, CpuTopicsAreSubscribed) {
+  VBundleCloud cloud(mm_config());
+  EXPECT_EQ(cloud.scribe().members_of(cloud.topics().cpu_capacity).size(), 8u);
+  EXPECT_EQ(cloud.scribe().members_of(cloud.topics().cpu_demand).size(), 8u);
+}
+
+TEST(MultiMetric, BandwidthOnlyCloudSkipsCpuTrees) {
+  CloudConfig cfg = mm_config();
+  cfg.vbundle.balance_cpu = false;
+  VBundleCloud cloud(cfg);
+  EXPECT_TRUE(cloud.scribe().members_of(cloud.topics().cpu_capacity).empty());
+}
+
+TEST(MultiMetric, CpuHotspotTriggersShedding) {
+  VBundleCloud cloud(mm_config());
+  auto c = cloud.add_customer("CpuTenant");
+  // Host 0: 8 VMs burning CPU (total 16 units = 100% CPU) but almost no
+  // bandwidth.  Other hosts: 2 idle VMs each.
+  for (int i = 0; i < 8; ++i) {
+    host::VmId v = cloud.fleet().create_vm(c, cpu_vm());
+    ASSERT_TRUE(cloud.fleet().place(v, 0));
+    cloud.fleet().set_cpu_demand(v, 2.0);
+    cloud.fleet().set_demand(v, 10.0);
+  }
+  for (int h = 1; h < 8; ++h) {
+    for (int i = 0; i < 2; ++i) {
+      host::VmId v = cloud.fleet().create_vm(c, cpu_vm());
+      ASSERT_TRUE(cloud.fleet().place(v, h));
+      cloud.fleet().set_cpu_demand(v, 0.5);
+      cloud.fleet().set_demand(v, 10.0);
+    }
+  }
+  double cpu_before = cloud.fleet().host_cpu_utilization(0);
+  EXPECT_DOUBLE_EQ(cpu_before, 1.0);
+
+  cloud.start_rebalancing(0.0, 600.0);
+  cloud.run_until(4000.0);
+
+  EXPECT_GT(cloud.migrations().completed(), 0u);
+  EXPECT_LT(cloud.fleet().host_cpu_utilization(0), cpu_before);
+  // No host pushed above the CPU ceiling.
+  auto cpu_avg = cloud.agent(0).cluster_avg_cpu_utilization();
+  ASSERT_TRUE(cpu_avg.has_value());
+  for (int h = 0; h < 8; ++h) {
+    EXPECT_LE(cloud.fleet().host_cpu_utilization(h), *cpu_avg + 0.15 + 1e-9);
+  }
+}
+
+TEST(MultiMetric, BandwidthOnlyModeIgnoresCpuHotspot) {
+  CloudConfig cfg = mm_config();
+  cfg.vbundle.balance_cpu = false;
+  VBundleCloud cloud(cfg);
+  auto c = cloud.add_customer("CpuTenant");
+  for (int i = 0; i < 8; ++i) {
+    host::VmId v = cloud.fleet().create_vm(c, cpu_vm());
+    ASSERT_TRUE(cloud.fleet().place(v, 0));
+    cloud.fleet().set_cpu_demand(v, 2.0);
+    cloud.fleet().set_demand(v, 10.0);
+  }
+  for (int h = 1; h < 8; ++h) {
+    host::VmId v = cloud.fleet().create_vm(c, cpu_vm());
+    ASSERT_TRUE(cloud.fleet().place(v, h));
+    cloud.fleet().set_cpu_demand(v, 0.5);
+    cloud.fleet().set_demand(v, 10.0);
+  }
+  cloud.start_rebalancing(0.0, 600.0);
+  cloud.run_until(4000.0);
+  // Bandwidth is balanced, so the bandwidth-only service does nothing even
+  // though host 0's CPU is saturated.
+  EXPECT_EQ(cloud.migrations().completed(), 0u);
+  EXPECT_DOUBLE_EQ(cloud.fleet().host_cpu_utilization(0), 1.0);
+}
+
+TEST(MultiMetric, MemoryAdmissionRejectsOverflow) {
+  host::Fleet f(1, 1000.0, 16.0, 256.0);  // only 256 MB of RAM
+  host::VmSpec spec = cpu_vm();           // 128 MB each
+  host::VmId a = f.create_vm(0, spec);
+  host::VmId b = f.create_vm(0, spec);
+  host::VmId c = f.create_vm(0, spec);
+  EXPECT_TRUE(f.place(a, 0));
+  EXPECT_TRUE(f.place(b, 0));
+  EXPECT_FALSE(f.place(c, 0));  // third 128 MB VM does not fit
+  EXPECT_DOUBLE_EQ(f.host_mem_utilization(0), 1.0);
+}
+
+TEST(MultiMetric, CpuAdmissionRejectsOverflow) {
+  host::Fleet f(1, 1000.0, 2.0, 4096.0);  // 2 compute units
+  host::VmSpec spec = cpu_vm();           // reserves 1 unit each
+  host::VmId a = f.create_vm(0, spec);
+  host::VmId b = f.create_vm(0, spec);
+  host::VmId c = f.create_vm(0, spec);
+  EXPECT_TRUE(f.place(a, 0));
+  EXPECT_TRUE(f.place(b, 0));
+  EXPECT_FALSE(f.place(c, 0));
+}
+
+TEST(MultiMetric, ReceiverChecksCpuCeilingBeforeAccepting) {
+  VBundleCloud cloud(mm_config());
+  auto c = cloud.add_customer("T");
+  // Host 0 is a bandwidth shedder; host 1 has bandwidth room but hot CPU;
+  // hosts 2+ have room on both metrics.  The accepted VM must not land on
+  // host 1.
+  for (int i = 0; i < 4; ++i) {
+    host::VmId v = cloud.fleet().create_vm(c, cpu_vm());
+    ASSERT_TRUE(cloud.fleet().place(v, 0));
+    cloud.fleet().set_demand(v, 100.0);  // bw-hot host
+    cloud.fleet().set_cpu_demand(v, 0.2);
+  }
+  for (int i = 0; i < 8; ++i) {
+    host::VmId v = cloud.fleet().create_vm(c, cpu_vm());
+    ASSERT_TRUE(cloud.fleet().place(v, 1));
+    cloud.fleet().set_demand(v, 2.0);
+    cloud.fleet().set_cpu_demand(v, 2.0);  // cpu-hot host
+  }
+  for (int h = 2; h < 8; ++h) {
+    host::VmId v = cloud.fleet().create_vm(c, cpu_vm());
+    ASSERT_TRUE(cloud.fleet().place(v, h));
+    cloud.fleet().set_demand(v, 5.0);
+    cloud.fleet().set_cpu_demand(v, 0.2);
+  }
+  cloud.start_rebalancing(0.0, 600.0);
+  cloud.run_until(4000.0);
+  // Host 1's CPU must not have grown: it was never a valid receiver.
+  EXPECT_LE(cloud.fleet().host(1).vm_count(), 8u);
+}
+
+TEST(MultiMetric, VmSpecValidation) {
+  host::VmSpec bad = cpu_vm();
+  bad.cpu_limit = 0.5;  // below reservation
+  EXPECT_FALSE(bad.valid());
+  host::Fleet f(1, 1000.0);
+  EXPECT_THROW(f.create_vm(0, bad), std::invalid_argument);
+}
+
+TEST(MultiMetric, CappedCpuDemand) {
+  host::Vm v;
+  v.spec = cpu_vm();
+  v.cpu_demand = 10.0;
+  EXPECT_DOUBLE_EQ(v.capped_cpu_demand(), 4.0);
+  v.cpu_demand = 2.5;
+  EXPECT_DOUBLE_EQ(v.capped_cpu_demand(), 2.5);
+}
+
+}  // namespace
+}  // namespace vb::core

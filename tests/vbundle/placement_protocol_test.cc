@@ -1,0 +1,150 @@
+// Focused tests of the boot/placement protocol internals: spillover walk
+// behaviour, visit budgets, anchor-centred search order, and the tagged
+// co-location abstraction (§II.C.3).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "vbundle/cloud.h"
+
+namespace vb::core {
+namespace {
+
+CloudConfig cfg(int pods, int racks, int hosts, std::uint64_t seed = 42) {
+  CloudConfig c;
+  c.topology.num_pods = pods;
+  c.topology.racks_per_pod = racks;
+  c.topology.hosts_per_rack = hosts;
+  c.seed = seed;
+  return c;
+}
+
+TEST(PlacementProtocol, VisitsGrowWithSpillover) {
+  VBundleCloud cloud(cfg(1, 4, 4));
+  auto c = cloud.add_customer("T");
+  // Each host fits one 900-reservation VM; successive boots must probe
+  // further and further.
+  int last_visits = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto r = cloud.boot_vm(c, host::VmSpec{900, 1000});
+    ASSERT_TRUE(r.ok) << i;
+    EXPECT_GE(r.visits, last_visits);
+    last_visits = r.visits;
+  }
+  EXPECT_GT(last_visits, 1);
+}
+
+TEST(PlacementProtocol, MaxVisitsBoundsTheSearch) {
+  CloudConfig c = cfg(1, 8, 4);
+  c.vbundle.max_placement_visits = 3;
+  VBundleCloud cloud(c);
+  auto cust = cloud.add_customer("T");
+  // Fill the three hosts nearest the key, then the fourth boot must give up
+  // after probing its visit budget.
+  std::vector<VBundleCloud::BootResult> results;
+  for (int i = 0; i < 8; ++i) {
+    results.push_back(cloud.boot_vm(cust, host::VmSpec{900, 1000}));
+  }
+  int failures = 0;
+  for (const auto& r : results) {
+    if (!r.ok) {
+      ++failures;
+      EXPECT_LE(r.visits, 3);
+    }
+  }
+  EXPECT_GT(failures, 0);
+}
+
+TEST(PlacementProtocol, SpilloverPrefersAnchorRack) {
+  VBundleCloud cloud(cfg(1, 8, 8));
+  auto c = cloud.add_customer("Anchored");
+  int anchor = cloud.pastry().global_closest(cloud.customer_key(c)).host;
+  int anchor_rack = cloud.topology().rack_of(anchor);
+  // 8 one-per-host VMs: the first 8 hosts probed should all be in the
+  // anchor's rack (8 hosts per rack).
+  for (int i = 0; i < 8; ++i) {
+    auto r = cloud.boot_vm(c, host::VmSpec{900, 1000});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(cloud.topology().rack_of(r.host), anchor_rack) << i;
+  }
+  // The ninth spills out of the rack but stays close.
+  auto r9 = cloud.boot_vm(c, host::VmSpec{900, 1000});
+  ASSERT_TRUE(r9.ok);
+  EXPECT_NE(cloud.topology().rack_of(r9.host), anchor_rack);
+}
+
+TEST(PlacementProtocol, TagsCoLocateAcrossGroups) {
+  VBundleCloud cloud(cfg(1, 16, 4));
+  auto c = cloud.add_customer("TagTenant");
+  // Two groups tagged with the same key land together even though the
+  // customer's own key is elsewhere.
+  auto g1 = cloud.boot_vm_tagged(c, host::VmSpec{100, 200}, "shared-tier");
+  auto g2 = cloud.boot_vm_tagged(c, host::VmSpec{100, 200}, "shared-tier");
+  ASSERT_TRUE(g1.ok);
+  ASSERT_TRUE(g2.ok);
+  EXPECT_EQ(g1.host, g2.host);
+  int tag_owner = cloud.pastry().global_closest(sha1_key("shared-tier")).host;
+  EXPECT_EQ(g1.host, tag_owner);
+}
+
+TEST(PlacementProtocol, DistinctTagsSeparateGroups) {
+  VBundleCloud cloud(cfg(1, 16, 4));
+  auto c = cloud.add_customer("TagTenant");
+  auto g1 = cloud.boot_vm_tagged(c, host::VmSpec{100, 200}, "front-end");
+  auto g2 = cloud.boot_vm_tagged(c, host::VmSpec{100, 200}, "batch-jobs");
+  ASSERT_TRUE(g1.ok);
+  ASSERT_TRUE(g2.ok);
+  // Independent random keys over 64 hosts: overwhelmingly distinct racks.
+  EXPECT_NE(g1.host, g2.host);
+}
+
+TEST(PlacementProtocol, TaggedVmsStillBelongToCustomer) {
+  VBundleCloud cloud(cfg(1, 4, 4));
+  auto c = cloud.add_customer("Owner");
+  auto r = cloud.boot_vm_tagged(c, host::VmSpec{100, 200}, "x");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(cloud.fleet().vm(r.vm).customer, c);
+}
+
+TEST(PlacementProtocol, ConcurrentBootsFromManyGatewaysAllPlace) {
+  // Issue several boots without draining the simulator in between: the
+  // admission race resolves through event ordering, never double-booking.
+  VBundleCloud cloud(cfg(1, 4, 4));
+  auto c = cloud.add_customer("Rush");
+  std::vector<host::VmId> vms;
+  std::vector<int> hosts(16, -1);
+  int done = 0;
+  for (int i = 0; i < 16; ++i) {
+    host::VmId vm = cloud.fleet().create_vm(c, host::VmSpec{400, 800});
+    vms.push_back(vm);
+    cloud.agent(i % cloud.num_hosts())
+        .request_boot(cloud.customer_key(c), vm, cloud.fleet().vm(vm).spec, c,
+                      [&hosts, &done, i](host::VmId, int h, int) {
+                        hosts[static_cast<std::size_t>(i)] = h;
+                        ++done;
+                      });
+  }
+  cloud.simulator().run_to_completion();
+  EXPECT_EQ(done, 16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_GE(hosts[static_cast<std::size_t>(i)], 0) << i;
+  }
+  // Reservation accounting must be exact: 16 x 400 over 16 x 1000 hosts,
+  // max two per host.
+  for (int h = 0; h < cloud.num_hosts(); ++h) {
+    EXPECT_LE(cloud.fleet().host(h).reserved_mbps(), 1000.0);
+  }
+}
+
+TEST(PlacementProtocol, BootResultReportsProbedServers) {
+  VBundleCloud cloud(cfg(1, 2, 2));
+  auto c = cloud.add_customer("V");
+  auto r1 = cloud.boot_vm(c, host::VmSpec{900, 1000});
+  EXPECT_EQ(r1.visits, 1);  // key owner had room
+  auto r2 = cloud.boot_vm(c, host::VmSpec{900, 1000});
+  EXPECT_GE(r2.visits, 2);  // needed at least one spillover probe
+}
+
+}  // namespace
+}  // namespace vb::core

@@ -1,0 +1,98 @@
+#include "workloads/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace vb::load {
+namespace {
+
+std::vector<TracePoint> ramp() {
+  return {{0.0, 10.0}, {10.0, 20.0}, {30.0, 0.0}, {40.0, 40.0}};
+}
+
+TEST(Trace, StepHoldsPreviousValue) {
+  TraceDemand d(ramp(), TraceDemand::Interpolation::kStep);
+  EXPECT_DOUBLE_EQ(d.at(-5.0), 10.0);   // before start: first value
+  EXPECT_DOUBLE_EQ(d.at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(d.at(9.9), 10.0);
+  EXPECT_DOUBLE_EQ(d.at(10.0), 20.0);
+  EXPECT_DOUBLE_EQ(d.at(29.9), 20.0);
+  EXPECT_DOUBLE_EQ(d.at(35.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.at(100.0), 40.0);  // after end: last value
+}
+
+TEST(Trace, LinearInterpolates) {
+  TraceDemand d(ramp(), TraceDemand::Interpolation::kLinear);
+  EXPECT_DOUBLE_EQ(d.at(5.0), 15.0);
+  EXPECT_DOUBLE_EQ(d.at(20.0), 10.0);  // halfway 20 -> 0
+  EXPECT_DOUBLE_EQ(d.at(35.0), 20.0);  // halfway 0 -> 40
+}
+
+TEST(Trace, LoopWrapsTime) {
+  TraceDemand d(ramp(), TraceDemand::Interpolation::kStep, /*loop=*/true);
+  EXPECT_DOUBLE_EQ(d.at(45.0), d.at(5.0));   // 45 mod 40
+  EXPECT_DOUBLE_EQ(d.at(80.0), d.at(0.0));
+  EXPECT_DOUBLE_EQ(d.at(-5.0), d.at(35.0));  // negative wraps backward
+}
+
+TEST(Trace, SpanAndSize) {
+  TraceDemand d(ramp());
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d.span_seconds(), 40.0);
+}
+
+TEST(Trace, RejectsBadInput) {
+  EXPECT_THROW(TraceDemand({}), std::invalid_argument);
+  EXPECT_THROW(TraceDemand({{0, 1}, {0, 2}}), std::invalid_argument);
+  EXPECT_THROW(TraceDemand({{5, 1}, {3, 2}}), std::invalid_argument);
+  EXPECT_THROW(TraceDemand({{0, -1}}), std::invalid_argument);
+  EXPECT_THROW(TraceDemand({{0, 1}}, TraceDemand::Interpolation::kStep, true),
+               std::invalid_argument);
+}
+
+TEST(TraceCsv, ParsesWithCommentsAndBlanks) {
+  auto pts = parse_trace_csv(
+      "# demand trace\n"
+      "0, 10\n"
+      "\n"
+      "10, 20  # step up\n"
+      "30,0\n");
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].t_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(pts[1].mbps, 20.0);
+  EXPECT_DOUBLE_EQ(pts[2].t_seconds, 30.0);
+}
+
+TEST(TraceCsv, RejectsMalformedLines) {
+  EXPECT_THROW(parse_trace_csv("10 20\n"), std::invalid_argument);
+  EXPECT_THROW(parse_trace_csv("a,b\n"), std::invalid_argument);
+}
+
+TEST(TraceCsv, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "vb_trace_test.csv";
+  {
+    std::ofstream out(path);
+    out << "0,5\n60,50\n120,5\n";
+  }
+  auto pts = load_trace_csv(path);
+  ASSERT_EQ(pts.size(), 3u);
+  TraceDemand d(pts, TraceDemand::Interpolation::kLinear, /*loop=*/true);
+  EXPECT_DOUBLE_EQ(d.at(30.0), 27.5);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_trace_csv("/nonexistent/file.csv"), std::runtime_error);
+}
+
+TEST(TraceCsv, DrivesDemandModel) {
+  host::Fleet f(1, 1000.0);
+  host::VmId v = f.create_vm(0, host::VmSpec{100, 500});
+  ASSERT_TRUE(f.place(v, 0));
+  DemandModel model;
+  model.assign(v, std::make_unique<TraceDemand>(ramp()));
+  model.apply(f, 15.0);
+  EXPECT_DOUBLE_EQ(f.vm(v).demand_mbps, 20.0);
+}
+
+}  // namespace
+}  // namespace vb::load

@@ -1,0 +1,252 @@
+// vbundle_sim: command-line front end for running v-Bundle scenarios.
+//
+// Subcommands:
+//   placement   boot VM fleets for N customers and report clustering
+//   rebalance   run the decentralized shuffler on a skewed cloud (SD series)
+//   sipp        the VoIP QoS experiment (failed calls / response times)
+//   overhead    per-host message overhead of the running service
+//
+// Common flags:
+//   --pods N --racks N --hosts N      topology shape (default 2x4x4)
+//   --nic MBPS --oversub R            link capacities (default 1000, 8)
+//   --seed S                          RNG seed (default 42)
+//   --threshold T                     shed/receive margin (default 0.183)
+//   --update-interval S --rebalance-interval S
+//   --duration S                      simulated seconds to run
+//   --csv PATH                        also dump the series as CSV
+//
+// Examples:
+//   vbundle_sim placement --customers 5 --vms 200 --racks 8
+//   vbundle_sim rebalance --threshold 0.1 --duration 4800 --csv sd.csv
+//   vbundle_sim sipp --duration 500
+#include <cstdio>
+#include <string>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "vbundle/cloud.h"
+#include "workloads/scenario.h"
+#include "workloads/sip_model.h"
+
+using namespace vb;
+
+namespace {
+
+core::CloudConfig config_from(const Flags& flags) {
+  core::CloudConfig cfg;
+  cfg.topology.num_pods = flags.get_int("pods", 2);
+  cfg.topology.racks_per_pod = flags.get_int("racks", 4);
+  cfg.topology.hosts_per_rack = flags.get_int("hosts", 4);
+  cfg.topology.host_nic_mbps = flags.get_double("nic", 1000.0);
+  cfg.topology.tor_oversubscription = flags.get_double("oversub", 8.0);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  cfg.vbundle.threshold = flags.get_double("threshold", 0.183);
+  cfg.vbundle.update_interval_s = flags.get_double("update-interval", 300.0);
+  cfg.vbundle.rebalance_interval_s =
+      flags.get_double("rebalance-interval", 1500.0);
+  cfg.vbundle.balance_cpu = flags.get_bool("balance-cpu", false);
+  if (cfg.vbundle.balance_cpu) {
+    cfg.host_cpu_capacity = flags.get_double("cpu-capacity", 32.0);
+  }
+  return cfg;
+}
+
+int run_placement(const Flags& flags) {
+  core::CloudConfig cfg = config_from(flags);
+  cfg.vbundle.max_placement_visits = flags.get_int("max-visits", 1024);
+  core::VBundleCloud cloud(cfg);
+  int n_customers = flags.get_int("customers", 3);
+  int vms_each = flags.get_int("vms", 50);
+
+  TextTable t;
+  t.set_header({"customer", "placed", "hosts", "racks", "anchor host"});
+  for (int c = 0; c < n_customers; ++c) {
+    std::string name = c < static_cast<int>(load::paper_customers().size())
+                           ? load::paper_customers()[static_cast<std::size_t>(c)]
+                           : "customer-" + std::to_string(c);
+    auto cust = cloud.add_customer(name);
+    std::vector<host::VmId> placed;
+    for (int i = 0; i < vms_each; ++i) {
+      host::VmSpec spec = i % 2 == 0 ? host::VmSpec{100, 200}
+                                     : host::VmSpec{200, 400};
+      auto r = cloud.boot_vm(cust, spec);
+      if (r.ok) placed.push_back(r.vm);
+    }
+    std::vector<char> host_used(static_cast<std::size_t>(cloud.num_hosts()), 0);
+    std::vector<char> rack_used(static_cast<std::size_t>(cloud.topology().num_racks()), 0);
+    for (host::VmId v : placed) {
+      int h = cloud.fleet().vm(v).host;
+      host_used[static_cast<std::size_t>(h)] = 1;
+      rack_used[static_cast<std::size_t>(cloud.topology().rack_of(h))] = 1;
+    }
+    int hosts = 0, racks = 0;
+    for (char u : host_used) hosts += u;
+    for (char u : rack_used) racks += u;
+    int anchor = cloud.pastry().global_closest(cloud.customer_key(cust)).host;
+    t.add_row({name, TextTable::num(placed.size()),
+               TextTable::num(static_cast<std::size_t>(hosts)),
+               TextTable::num(static_cast<std::size_t>(racks)),
+               TextTable::num(static_cast<std::size_t>(anchor))});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int run_rebalance(const Flags& flags) {
+  core::CloudConfig cfg = config_from(flags);
+  core::VBundleCloud cloud(cfg);
+  int vms_per_host = flags.get_int("vms-per-host", 10);
+  double duration = flags.get_double("duration", 4800.0);
+
+  auto c = cloud.add_customer("cli");
+  for (int h = 0; h < cloud.num_hosts(); ++h) {
+    for (int i = 0; i < vms_per_host; ++i) {
+      host::VmId v = cloud.fleet().create_vm(c, host::VmSpec{20, 150});
+      cloud.fleet().place(v, h);
+    }
+  }
+  Rng rng(cfg.seed + 1);
+  load::skew_host_utilizations(cloud.fleet(), flags.get_double("lo-util", 0.25),
+                               flags.get_double("hi-util", 1.0), rng);
+
+  cloud.start_rebalancing(0.0, cfg.vbundle.rebalance_interval_s);
+  std::unique_ptr<CsvWriter> csv;
+  if (flags.has("csv")) {
+    csv = std::make_unique<CsvWriter>(flags.get_string("csv", ""));
+    csv->row({"t_seconds", "utilization_sd", "max_utilization", "migrations"});
+  }
+  TextTable t;
+  t.set_header({"t (s)", "util SD", "max util", "migrations"});
+  int steps = 16;
+  for (int i = 0; i <= steps; ++i) {
+    double at = duration * i / steps;
+    cloud.run_until(at);
+    double sd = cloud.utilization_stddev();
+    double mx = 0;
+    for (double u : cloud.utilization_snapshot()) mx = std::max(mx, u);
+    auto migr = cloud.migrations().completed();
+    t.add_row({TextTable::num(at, 0), TextTable::num(sd, 4),
+               TextTable::num(mx, 3), TextTable::num(static_cast<std::size_t>(migr))});
+    if (csv) {
+      csv->row_numeric({at, sd, mx, static_cast<double>(migr)});
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+  if (csv) std::printf("wrote %zu CSV rows\n", csv->rows_written());
+  return 0;
+}
+
+int run_sipp(const Flags& flags) {
+  core::CloudConfig cfg = config_from(flags);
+  cfg.vbundle.threshold = flags.get_double("threshold", 0.15);
+  cfg.vbundle.update_interval_s = flags.get_double("update-interval", 60.0);
+  cfg.vbundle.rebalance_interval_s =
+      flags.get_double("rebalance-interval", 75.0);
+  core::VBundleCloud cloud(cfg);
+  auto cust = cloud.add_customer("voip");
+
+  host::VmId sipp_vm = cloud.fleet().create_vm(cust, host::VmSpec{100, 400});
+  cloud.fleet().place(sipp_vm, 0);
+  int iperf = flags.get_int("iperf-vms", 12);
+  for (int i = 0; i < iperf; ++i) {
+    host::VmId v = cloud.fleet().create_vm(cust, host::VmSpec{40, 200});
+    cloud.fleet().place(v, 0);
+    cloud.fleet().set_demand(v, 100.0);
+  }
+  for (int h = 1; h < cloud.num_hosts(); ++h) {
+    for (int i = 0; i < 4; ++i) {
+      host::VmId v = cloud.fleet().create_vm(cust, host::VmSpec{20, 100});
+      cloud.fleet().place(v, h);
+      cloud.fleet().set_demand(v, 10.0);
+    }
+  }
+
+  load::SipModel sip{load::SipConfig{}};
+  double rebalance_at = flags.get_double("rebalance-at", 300.0);
+  cloud.start_rebalancing(0.0, rebalance_at);
+
+  std::unique_ptr<CsvWriter> csv;
+  if (flags.has("csv")) {
+    csv = std::make_unique<CsvWriter>(flags.get_string("csv", ""));
+    csv->row({"t_seconds", "offered_cps", "granted_mbps", "failed_calls"});
+  }
+  int duration = flags.get_int("duration", 500);
+  std::uint64_t total_failed = 0;
+  for (int t = 0; t < duration; ++t) {
+    cloud.run_until(static_cast<double>(t));
+    cloud.fleet().set_demand(sipp_vm, sip.demand_mbps(sip.elapsed_s()));
+    int h = cloud.fleet().vm(sipp_vm).host;
+    double granted = 0;
+    for (const auto& [vm, mbps] : cloud.fleet().shape_host(h)) {
+      if (vm == sipp_vm) granted = mbps;
+    }
+    std::uint64_t failed = sip.step(granted);
+    total_failed += failed;
+    if (csv) {
+      csv->row_numeric({static_cast<double>(t), sip.offered_rate_cps(t),
+                        granted, static_cast<double>(failed)});
+    }
+  }
+  std::printf("calls attempted %llu, failed %llu; migrations %llu\n",
+              static_cast<unsigned long long>(sip.stats().calls_attempted),
+              static_cast<unsigned long long>(sip.stats().calls_failed),
+              static_cast<unsigned long long>(cloud.migrations().completed()));
+  return 0;
+}
+
+int run_overhead(const Flags& flags) {
+  core::CloudConfig cfg = config_from(flags);
+  core::VBundleCloud cloud(cfg);
+  auto c = cloud.add_customer("cli");
+  for (int h = 0; h < cloud.num_hosts(); ++h) {
+    for (int i = 0; i < 6; ++i) {
+      host::VmId v = cloud.fleet().create_vm(c, host::VmSpec{20, 150});
+      cloud.fleet().place(v, h);
+    }
+  }
+  Rng rng(cfg.seed + 1);
+  load::skew_host_utilizations(cloud.fleet(), 0.25, 1.0, rng);
+  cloud.start_rebalancing(0.0, cfg.vbundle.rebalance_interval_s);
+  int rounds = flags.get_int("rounds", 10);
+  cloud.run_until(cfg.vbundle.update_interval_s);  // warm up one round
+  cloud.pastry().reset_counters();
+  cloud.run_until(cfg.vbundle.update_interval_s * (1 + rounds));
+
+  std::vector<double> per_node;
+  for (auto m : cloud.pastry().per_node_msgs()) {
+    per_node.push_back(static_cast<double>(m) / rounds);
+  }
+  TextTable t;
+  t.set_header({"percentile", "msgs/round"});
+  for (double p : {50.0, 90.0, 99.0, 100.0}) {
+    t.add_row({TextTable::num(p, 0), TextTable::num(percentile(per_node, p), 1)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vbundle_sim <placement|rebalance|sipp|overhead> "
+               "[--flags]\n(see header comment of tools/vbundle_sim.cc)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Flags flags = Flags::parse(argc - 2, argv + 2);
+  std::string cmd = argv[1];
+  try {
+    if (cmd == "placement") return run_placement(flags);
+    if (cmd == "rebalance") return run_rebalance(flags);
+    if (cmd == "sipp") return run_sipp(flags);
+    if (cmd == "overhead") return run_overhead(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vbundle_sim: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
