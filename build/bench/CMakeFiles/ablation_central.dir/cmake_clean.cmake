@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_central.dir/ablation_central.cc.o"
+  "CMakeFiles/ablation_central.dir/ablation_central.cc.o.d"
+  "ablation_central"
+  "ablation_central.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_central.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multimetric.dir/ablation_multimetric.cc.o"
+  "CMakeFiles/ablation_multimetric.dir/ablation_multimetric.cc.o.d"
+  "ablation_multimetric"
+  "ablation_multimetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multimetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_resource_gains.cc" "bench/CMakeFiles/fig11_resource_gains.dir/fig11_resource_gains.cc.o" "gcc" "bench/CMakeFiles/fig11_resource_gains.dir/fig11_resource_gains.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbundle_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_aggregation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_scribe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_pastry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_hostmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_resource_gains.dir/fig11_resource_gains.cc.o"
+  "CMakeFiles/fig11_resource_gains.dir/fig11_resource_gains.cc.o.d"
+  "fig11_resource_gains"
+  "fig11_resource_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_resource_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

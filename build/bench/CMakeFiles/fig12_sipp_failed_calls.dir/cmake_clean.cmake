@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sipp_failed_calls.dir/fig12_sipp_failed_calls.cc.o"
+  "CMakeFiles/fig12_sipp_failed_calls.dir/fig12_sipp_failed_calls.cc.o.d"
+  "fig12_sipp_failed_calls"
+  "fig12_sipp_failed_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sipp_failed_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

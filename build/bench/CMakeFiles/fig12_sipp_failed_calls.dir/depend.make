@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_sipp_failed_calls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_response_cdf.dir/fig13_response_cdf.cc.o"
+  "CMakeFiles/fig13_response_cdf.dir/fig13_response_cdf.cc.o.d"
+  "fig13_response_cdf"
+  "fig13_response_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_response_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_msg_overhead.dir/fig15_msg_overhead.cc.o"
+  "CMakeFiles/fig15_msg_overhead.dir/fig15_msg_overhead.cc.o.d"
+  "fig15_msg_overhead"
+  "fig15_msg_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_msg_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_placement.dir/fig7_placement.cc.o"
+  "CMakeFiles/fig7_placement.dir/fig7_placement.cc.o.d"
+  "fig7_placement"
+  "fig7_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_growth.dir/fig8_growth.cc.o"
+  "CMakeFiles/fig8_growth.dir/fig8_growth.cc.o.d"
+  "fig8_growth"
+  "fig8_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

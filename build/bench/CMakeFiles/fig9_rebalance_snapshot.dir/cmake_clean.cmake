@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_rebalance_snapshot.dir/fig9_rebalance_snapshot.cc.o"
+  "CMakeFiles/fig9_rebalance_snapshot.dir/fig9_rebalance_snapshot.cc.o.d"
+  "fig9_rebalance_snapshot"
+  "fig9_rebalance_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_rebalance_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

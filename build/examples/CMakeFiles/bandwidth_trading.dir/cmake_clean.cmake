@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_trading.dir/bandwidth_trading.cpp.o"
+  "CMakeFiles/bandwidth_trading.dir/bandwidth_trading.cpp.o.d"
+  "bandwidth_trading"
+  "bandwidth_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_tags.dir/group_tags.cpp.o"
+  "CMakeFiles/group_tags.dir/group_tags.cpp.o.d"
+  "group_tags"
+  "group_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for group_tags.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_placement.dir/multi_tenant_placement.cpp.o"
+  "CMakeFiles/multi_tenant_placement.dir/multi_tenant_placement.cpp.o.d"
+  "multi_tenant_placement"
+  "multi_tenant_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sipp_rebalance.dir/sipp_rebalance.cpp.o"
+  "CMakeFiles/sipp_rebalance.dir/sipp_rebalance.cpp.o.d"
+  "sipp_rebalance"
+  "sipp_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sipp_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbundle_aggregation.dir/aggregation/aggregation_tree.cc.o"
+  "CMakeFiles/vbundle_aggregation.dir/aggregation/aggregation_tree.cc.o.d"
+  "CMakeFiles/vbundle_aggregation.dir/aggregation/reduce.cc.o"
+  "CMakeFiles/vbundle_aggregation.dir/aggregation/reduce.cc.o.d"
+  "CMakeFiles/vbundle_aggregation.dir/aggregation/topic_manager.cc.o"
+  "CMakeFiles/vbundle_aggregation.dir/aggregation/topic_manager.cc.o.d"
+  "libvbundle_aggregation.a"
+  "libvbundle_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbundle_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbundle_baselines.dir/baselines/central_rebalancer.cc.o"
+  "CMakeFiles/vbundle_baselines.dir/baselines/central_rebalancer.cc.o.d"
+  "CMakeFiles/vbundle_baselines.dir/baselines/greedy_placement.cc.o"
+  "CMakeFiles/vbundle_baselines.dir/baselines/greedy_placement.cc.o.d"
+  "CMakeFiles/vbundle_baselines.dir/baselines/random_placement.cc.o"
+  "CMakeFiles/vbundle_baselines.dir/baselines/random_placement.cc.o.d"
+  "libvbundle_baselines.a"
+  "libvbundle_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbundle_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

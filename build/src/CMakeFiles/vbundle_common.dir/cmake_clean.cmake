@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbundle_common.dir/common/csv.cc.o"
+  "CMakeFiles/vbundle_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/vbundle_common.dir/common/flags.cc.o"
+  "CMakeFiles/vbundle_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/vbundle_common.dir/common/hash.cc.o"
+  "CMakeFiles/vbundle_common.dir/common/hash.cc.o.d"
+  "CMakeFiles/vbundle_common.dir/common/rng.cc.o"
+  "CMakeFiles/vbundle_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/vbundle_common.dir/common/stats.cc.o"
+  "CMakeFiles/vbundle_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/vbundle_common.dir/common/table.cc.o"
+  "CMakeFiles/vbundle_common.dir/common/table.cc.o.d"
+  "CMakeFiles/vbundle_common.dir/common/u128.cc.o"
+  "CMakeFiles/vbundle_common.dir/common/u128.cc.o.d"
+  "libvbundle_common.a"
+  "libvbundle_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbundle_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

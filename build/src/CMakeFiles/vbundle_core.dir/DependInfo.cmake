@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vbundle/cloud.cc" "src/CMakeFiles/vbundle_core.dir/vbundle/cloud.cc.o" "gcc" "src/CMakeFiles/vbundle_core.dir/vbundle/cloud.cc.o.d"
+  "/root/repo/src/vbundle/controller.cc" "src/CMakeFiles/vbundle_core.dir/vbundle/controller.cc.o" "gcc" "src/CMakeFiles/vbundle_core.dir/vbundle/controller.cc.o.d"
+  "/root/repo/src/vbundle/id_assigner.cc" "src/CMakeFiles/vbundle_core.dir/vbundle/id_assigner.cc.o" "gcc" "src/CMakeFiles/vbundle_core.dir/vbundle/id_assigner.cc.o.d"
+  "/root/repo/src/vbundle/metrics.cc" "src/CMakeFiles/vbundle_core.dir/vbundle/metrics.cc.o" "gcc" "src/CMakeFiles/vbundle_core.dir/vbundle/metrics.cc.o.d"
+  "/root/repo/src/vbundle/migration.cc" "src/CMakeFiles/vbundle_core.dir/vbundle/migration.cc.o" "gcc" "src/CMakeFiles/vbundle_core.dir/vbundle/migration.cc.o.d"
+  "/root/repo/src/vbundle/placement.cc" "src/CMakeFiles/vbundle_core.dir/vbundle/placement.cc.o" "gcc" "src/CMakeFiles/vbundle_core.dir/vbundle/placement.cc.o.d"
+  "/root/repo/src/vbundle/shuffler.cc" "src/CMakeFiles/vbundle_core.dir/vbundle/shuffler.cc.o" "gcc" "src/CMakeFiles/vbundle_core.dir/vbundle/shuffler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbundle_aggregation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_hostmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_scribe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_pastry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

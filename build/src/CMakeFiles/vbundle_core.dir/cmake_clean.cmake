@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbundle_core.dir/vbundle/cloud.cc.o"
+  "CMakeFiles/vbundle_core.dir/vbundle/cloud.cc.o.d"
+  "CMakeFiles/vbundle_core.dir/vbundle/controller.cc.o"
+  "CMakeFiles/vbundle_core.dir/vbundle/controller.cc.o.d"
+  "CMakeFiles/vbundle_core.dir/vbundle/id_assigner.cc.o"
+  "CMakeFiles/vbundle_core.dir/vbundle/id_assigner.cc.o.d"
+  "CMakeFiles/vbundle_core.dir/vbundle/metrics.cc.o"
+  "CMakeFiles/vbundle_core.dir/vbundle/metrics.cc.o.d"
+  "CMakeFiles/vbundle_core.dir/vbundle/migration.cc.o"
+  "CMakeFiles/vbundle_core.dir/vbundle/migration.cc.o.d"
+  "CMakeFiles/vbundle_core.dir/vbundle/placement.cc.o"
+  "CMakeFiles/vbundle_core.dir/vbundle/placement.cc.o.d"
+  "CMakeFiles/vbundle_core.dir/vbundle/shuffler.cc.o"
+  "CMakeFiles/vbundle_core.dir/vbundle/shuffler.cc.o.d"
+  "libvbundle_core.a"
+  "libvbundle_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbundle_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

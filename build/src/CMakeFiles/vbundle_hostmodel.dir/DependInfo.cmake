@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hostmodel/host.cc" "src/CMakeFiles/vbundle_hostmodel.dir/hostmodel/host.cc.o" "gcc" "src/CMakeFiles/vbundle_hostmodel.dir/hostmodel/host.cc.o.d"
+  "/root/repo/src/hostmodel/tc_shaper.cc" "src/CMakeFiles/vbundle_hostmodel.dir/hostmodel/tc_shaper.cc.o" "gcc" "src/CMakeFiles/vbundle_hostmodel.dir/hostmodel/tc_shaper.cc.o.d"
+  "/root/repo/src/hostmodel/vm.cc" "src/CMakeFiles/vbundle_hostmodel.dir/hostmodel/vm.cc.o" "gcc" "src/CMakeFiles/vbundle_hostmodel.dir/hostmodel/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbundle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

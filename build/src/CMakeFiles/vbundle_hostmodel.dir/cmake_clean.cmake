@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbundle_hostmodel.dir/hostmodel/host.cc.o"
+  "CMakeFiles/vbundle_hostmodel.dir/hostmodel/host.cc.o.d"
+  "CMakeFiles/vbundle_hostmodel.dir/hostmodel/tc_shaper.cc.o"
+  "CMakeFiles/vbundle_hostmodel.dir/hostmodel/tc_shaper.cc.o.d"
+  "CMakeFiles/vbundle_hostmodel.dir/hostmodel/vm.cc.o"
+  "CMakeFiles/vbundle_hostmodel.dir/hostmodel/vm.cc.o.d"
+  "libvbundle_hostmodel.a"
+  "libvbundle_hostmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbundle_hostmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flow_allocator.cc" "src/CMakeFiles/vbundle_net.dir/net/flow_allocator.cc.o" "gcc" "src/CMakeFiles/vbundle_net.dir/net/flow_allocator.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/vbundle_net.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/vbundle_net.dir/net/topology.cc.o.d"
+  "/root/repo/src/net/traffic_matrix.cc" "src/CMakeFiles/vbundle_net.dir/net/traffic_matrix.cc.o" "gcc" "src/CMakeFiles/vbundle_net.dir/net/traffic_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbundle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbundle_net.dir/net/flow_allocator.cc.o"
+  "CMakeFiles/vbundle_net.dir/net/flow_allocator.cc.o.d"
+  "CMakeFiles/vbundle_net.dir/net/topology.cc.o"
+  "CMakeFiles/vbundle_net.dir/net/topology.cc.o.d"
+  "CMakeFiles/vbundle_net.dir/net/traffic_matrix.cc.o"
+  "CMakeFiles/vbundle_net.dir/net/traffic_matrix.cc.o.d"
+  "libvbundle_net.a"
+  "libvbundle_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbundle_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

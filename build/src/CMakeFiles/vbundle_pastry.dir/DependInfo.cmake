@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pastry/leaf_set.cc" "src/CMakeFiles/vbundle_pastry.dir/pastry/leaf_set.cc.o" "gcc" "src/CMakeFiles/vbundle_pastry.dir/pastry/leaf_set.cc.o.d"
+  "/root/repo/src/pastry/neighbor_set.cc" "src/CMakeFiles/vbundle_pastry.dir/pastry/neighbor_set.cc.o" "gcc" "src/CMakeFiles/vbundle_pastry.dir/pastry/neighbor_set.cc.o.d"
+  "/root/repo/src/pastry/node_id.cc" "src/CMakeFiles/vbundle_pastry.dir/pastry/node_id.cc.o" "gcc" "src/CMakeFiles/vbundle_pastry.dir/pastry/node_id.cc.o.d"
+  "/root/repo/src/pastry/pastry_network.cc" "src/CMakeFiles/vbundle_pastry.dir/pastry/pastry_network.cc.o" "gcc" "src/CMakeFiles/vbundle_pastry.dir/pastry/pastry_network.cc.o.d"
+  "/root/repo/src/pastry/pastry_node.cc" "src/CMakeFiles/vbundle_pastry.dir/pastry/pastry_node.cc.o" "gcc" "src/CMakeFiles/vbundle_pastry.dir/pastry/pastry_node.cc.o.d"
+  "/root/repo/src/pastry/routing_table.cc" "src/CMakeFiles/vbundle_pastry.dir/pastry/routing_table.cc.o" "gcc" "src/CMakeFiles/vbundle_pastry.dir/pastry/routing_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbundle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbundle_pastry.dir/pastry/leaf_set.cc.o"
+  "CMakeFiles/vbundle_pastry.dir/pastry/leaf_set.cc.o.d"
+  "CMakeFiles/vbundle_pastry.dir/pastry/neighbor_set.cc.o"
+  "CMakeFiles/vbundle_pastry.dir/pastry/neighbor_set.cc.o.d"
+  "CMakeFiles/vbundle_pastry.dir/pastry/node_id.cc.o"
+  "CMakeFiles/vbundle_pastry.dir/pastry/node_id.cc.o.d"
+  "CMakeFiles/vbundle_pastry.dir/pastry/pastry_network.cc.o"
+  "CMakeFiles/vbundle_pastry.dir/pastry/pastry_network.cc.o.d"
+  "CMakeFiles/vbundle_pastry.dir/pastry/pastry_node.cc.o"
+  "CMakeFiles/vbundle_pastry.dir/pastry/pastry_node.cc.o.d"
+  "CMakeFiles/vbundle_pastry.dir/pastry/routing_table.cc.o"
+  "CMakeFiles/vbundle_pastry.dir/pastry/routing_table.cc.o.d"
+  "libvbundle_pastry.a"
+  "libvbundle_pastry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbundle_pastry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

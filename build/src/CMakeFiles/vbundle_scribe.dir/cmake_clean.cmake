@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbundle_scribe.dir/scribe/scribe_network.cc.o"
+  "CMakeFiles/vbundle_scribe.dir/scribe/scribe_network.cc.o.d"
+  "CMakeFiles/vbundle_scribe.dir/scribe/scribe_node.cc.o"
+  "CMakeFiles/vbundle_scribe.dir/scribe/scribe_node.cc.o.d"
+  "libvbundle_scribe.a"
+  "libvbundle_scribe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbundle_scribe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

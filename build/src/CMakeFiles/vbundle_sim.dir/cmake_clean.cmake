@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbundle_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/vbundle_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/vbundle_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/vbundle_sim.dir/sim/simulator.cc.o.d"
+  "libvbundle_sim.a"
+  "libvbundle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbundle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

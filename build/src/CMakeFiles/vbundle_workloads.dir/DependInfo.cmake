@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/demand.cc" "src/CMakeFiles/vbundle_workloads.dir/workloads/demand.cc.o" "gcc" "src/CMakeFiles/vbundle_workloads.dir/workloads/demand.cc.o.d"
+  "/root/repo/src/workloads/iperf_model.cc" "src/CMakeFiles/vbundle_workloads.dir/workloads/iperf_model.cc.o" "gcc" "src/CMakeFiles/vbundle_workloads.dir/workloads/iperf_model.cc.o.d"
+  "/root/repo/src/workloads/scenario.cc" "src/CMakeFiles/vbundle_workloads.dir/workloads/scenario.cc.o" "gcc" "src/CMakeFiles/vbundle_workloads.dir/workloads/scenario.cc.o.d"
+  "/root/repo/src/workloads/sip_model.cc" "src/CMakeFiles/vbundle_workloads.dir/workloads/sip_model.cc.o" "gcc" "src/CMakeFiles/vbundle_workloads.dir/workloads/sip_model.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/CMakeFiles/vbundle_workloads.dir/workloads/trace.cc.o" "gcc" "src/CMakeFiles/vbundle_workloads.dir/workloads/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbundle_hostmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbundle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

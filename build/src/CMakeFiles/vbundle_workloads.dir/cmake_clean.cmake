@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbundle_workloads.dir/workloads/demand.cc.o"
+  "CMakeFiles/vbundle_workloads.dir/workloads/demand.cc.o.d"
+  "CMakeFiles/vbundle_workloads.dir/workloads/iperf_model.cc.o"
+  "CMakeFiles/vbundle_workloads.dir/workloads/iperf_model.cc.o.d"
+  "CMakeFiles/vbundle_workloads.dir/workloads/scenario.cc.o"
+  "CMakeFiles/vbundle_workloads.dir/workloads/scenario.cc.o.d"
+  "CMakeFiles/vbundle_workloads.dir/workloads/sip_model.cc.o"
+  "CMakeFiles/vbundle_workloads.dir/workloads/sip_model.cc.o.d"
+  "CMakeFiles/vbundle_workloads.dir/workloads/trace.cc.o"
+  "CMakeFiles/vbundle_workloads.dir/workloads/trace.cc.o.d"
+  "libvbundle_workloads.a"
+  "libvbundle_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbundle_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

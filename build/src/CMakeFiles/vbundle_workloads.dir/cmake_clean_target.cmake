@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvbundle_workloads.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_churn.dir/integration/churn_test.cc.o"
+  "CMakeFiles/test_churn.dir/integration/churn_test.cc.o.d"
+  "test_churn"
+  "test_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flags_csv.dir/common/flags_csv_test.cc.o"
+  "CMakeFiles/test_flags_csv.dir/common/flags_csv_test.cc.o.d"
+  "test_flags_csv"
+  "test_flags_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flags_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_allocator.dir/net/flow_allocator_test.cc.o"
+  "CMakeFiles/test_flow_allocator.dir/net/flow_allocator_test.cc.o.d"
+  "test_flow_allocator"
+  "test_flow_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

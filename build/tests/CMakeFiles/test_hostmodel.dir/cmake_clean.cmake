@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hostmodel.dir/hostmodel/hostmodel_test.cc.o"
+  "CMakeFiles/test_hostmodel.dir/hostmodel/hostmodel_test.cc.o.d"
+  "test_hostmodel"
+  "test_hostmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hostmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

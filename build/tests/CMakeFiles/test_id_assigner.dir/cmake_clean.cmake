@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_id_assigner.dir/vbundle/id_assigner_test.cc.o"
+  "CMakeFiles/test_id_assigner.dir/vbundle/id_assigner_test.cc.o.d"
+  "test_id_assigner"
+  "test_id_assigner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_id_assigner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

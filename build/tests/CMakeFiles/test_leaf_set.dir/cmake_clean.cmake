@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leaf_set.dir/pastry/leaf_set_test.cc.o"
+  "CMakeFiles/test_leaf_set.dir/pastry/leaf_set_test.cc.o.d"
+  "test_leaf_set"
+  "test_leaf_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leaf_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

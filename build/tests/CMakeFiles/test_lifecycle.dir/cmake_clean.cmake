@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifecycle.dir/vbundle/lifecycle_test.cc.o"
+  "CMakeFiles/test_lifecycle.dir/vbundle/lifecycle_test.cc.o.d"
+  "test_lifecycle"
+  "test_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multimetric.dir/vbundle/multimetric_test.cc.o"
+  "CMakeFiles/test_multimetric.dir/vbundle/multimetric_test.cc.o.d"
+  "test_multimetric"
+  "test_multimetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multimetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

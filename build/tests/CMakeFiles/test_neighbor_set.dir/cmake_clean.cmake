@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neighbor_set.dir/pastry/neighbor_set_test.cc.o"
+  "CMakeFiles/test_neighbor_set.dir/pastry/neighbor_set_test.cc.o.d"
+  "test_neighbor_set"
+  "test_neighbor_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neighbor_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

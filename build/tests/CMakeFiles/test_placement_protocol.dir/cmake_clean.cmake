@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placement_protocol.dir/vbundle/placement_protocol_test.cc.o"
+  "CMakeFiles/test_placement_protocol.dir/vbundle/placement_protocol_test.cc.o.d"
+  "test_placement_protocol"
+  "test_placement_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placement_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

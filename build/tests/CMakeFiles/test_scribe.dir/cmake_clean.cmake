@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scribe.dir/scribe/scribe_test.cc.o"
+  "CMakeFiles/test_scribe.dir/scribe/scribe_test.cc.o.d"
+  "test_scribe"
+  "test_scribe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scribe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

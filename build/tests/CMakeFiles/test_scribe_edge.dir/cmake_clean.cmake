@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scribe_edge.dir/scribe/scribe_edge_test.cc.o"
+  "CMakeFiles/test_scribe_edge.dir/scribe/scribe_edge_test.cc.o.d"
+  "test_scribe_edge"
+  "test_scribe_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scribe_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shuffler_unit.dir/vbundle/shuffler_unit_test.cc.o"
+  "CMakeFiles/test_shuffler_unit.dir/vbundle/shuffler_unit_test.cc.o.d"
+  "test_shuffler_unit"
+  "test_shuffler_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shuffler_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_u128.dir/common/u128_test.cc.o"
+  "CMakeFiles/test_u128.dir/common/u128_test.cc.o.d"
+  "test_u128"
+  "test_u128.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_u128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

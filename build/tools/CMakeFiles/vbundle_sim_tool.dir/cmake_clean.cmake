@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbundle_sim_tool.dir/vbundle_sim.cc.o"
+  "CMakeFiles/vbundle_sim_tool.dir/vbundle_sim.cc.o.d"
+  "vbundle_sim"
+  "vbundle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbundle_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
