@@ -1,6 +1,7 @@
 #include "common/u128.h"
 
 #include <array>
+#include <bit>
 #include <stdexcept>
 
 namespace vb {
@@ -42,9 +43,12 @@ U128 U128::from_hex(std::string_view hex) {
 }
 
 int shared_prefix_digits(const U128& a, const U128& b) {
-  for (int i = 0; i < 32; ++i) {
-    if (a.digit(i) != b.digit(i)) return i;
-  }
+  // One XOR + count-leading-zeros per limb instead of up to 32 digit
+  // extractions: route() and the oracle bootstrap call this per candidate.
+  std::uint64_t x = a.hi() ^ b.hi();
+  if (x != 0) return std::countl_zero(x) / 4;
+  std::uint64_t y = a.lo() ^ b.lo();
+  if (y != 0) return 16 + std::countl_zero(y) / 4;
   return 32;
 }
 

@@ -41,6 +41,15 @@ class LeafSet {
   /// All current members, clockwise side then counter-clockwise side.
   std::vector<NodeHandle> members() const;
 
+  /// Visits all members (clockwise side then counter-clockwise side)
+  /// without materializing a vector — the routing fast path iterates leaves
+  /// on every hop and must not allocate.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const NodeHandle& n : cw_) fn(n);
+    for (const NodeHandle& n : ccw_) fn(n);
+  }
+
   /// Extreme members (farthest on each side); used by join/repair to extend
   /// coverage.  May be invalid handles when the set is empty.
   NodeHandle farthest_cw() const;

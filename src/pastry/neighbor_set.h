@@ -36,6 +36,16 @@ class NeighborSet {
   /// Members ordered nearest-first across both slot classes.
   std::vector<NodeHandle> members() const;
 
+  /// Visits all members (local slots then remote slots) without
+  /// materializing a vector.  Visit order differs from members(); use only
+  /// where the caller's result is order-independent (e.g. best-candidate
+  /// scans with a total tie-break).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const NodeHandle& n : local_) fn(n);
+    for (const NodeHandle& n : remote_) fn(n);
+  }
+
   bool contains(const NodeHandle& n) const;
   std::size_t size() const { return local_.size() + remote_.size(); }
 

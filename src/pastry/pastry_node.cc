@@ -47,10 +47,12 @@ NodeHandle PastryNode::next_hop(const U128& key) const {
   // Rule 2: routing table cell for (shared prefix length, next digit).
   int row = shared_prefix_digits(handle_.id, key);
   int col = key.digit(row);
-  if (auto entry = table_.lookup(row, col); entry.has_value()) return *entry;
+  if (const NodeHandle* entry = table_.lookup_ptr(row, col)) return *entry;
 
   // Rule 3 (rare case): any known node that shares at least as long a prefix
-  // with the key and is numerically closer to it than we are.
+  // with the key and is numerically closer to it than we are.  The result is
+  // order-independent (closer_on_ring is a strict total preference), so the
+  // three tables are scanned in place — route() allocates nothing per hop.
   NodeHandle best = handle_;
   auto try_candidate = [&](const NodeHandle& n) {
     if (shared_prefix_digits(n.id, key) >= row &&
@@ -58,9 +60,9 @@ NodeHandle PastryNode::next_hop(const U128& key) const {
       best = n;
     }
   };
-  for (const NodeHandle& n : leafs_.members()) try_candidate(n);
-  for (const NodeHandle& n : table_.all_entries()) try_candidate(n);
-  for (const NodeHandle& n : neighbors_.members()) try_candidate(n);
+  leafs_.for_each(try_candidate);
+  table_.for_each_entry(try_candidate);
+  neighbors_.for_each(try_candidate);
   return best;
 }
 
@@ -119,8 +121,10 @@ void PastryNode::announce_departure() {
     notified.push_back(n.id);
     send_direct(n, bye, MsgCategory::kOverlayMaintenance);
   };
-  for (const NodeHandle& n : leafs_.members()) notify(n);
-  for (const NodeHandle& n : table_.all_entries()) notify(n);
+  leafs_.for_each(notify);
+  table_.for_each_entry(notify);
+  // Neighbor farewells go out in members() order (nearest first) so the
+  // send sequence — and with it event tie-breaking — matches historic runs.
   for (const NodeHandle& n : neighbors_.members()) notify(n);
 }
 

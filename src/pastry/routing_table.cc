@@ -45,10 +45,9 @@ bool RoutingTable::remove(const NodeHandle& node) {
 }
 
 std::optional<NodeHandle> RoutingTable::lookup(int row, int col) const {
-  if (row < 0 || row >= kIdDigits || col < 0 || col >= kIdBase) return std::nullopt;
-  const auto& cell = cells_[static_cast<std::size_t>(cell_index(row, col))];
-  if (!cell.has_value()) return std::nullopt;
-  return cell->node;
+  const NodeHandle* n = lookup_ptr(row, col);
+  if (n == nullptr) return std::nullopt;
+  return *n;
 }
 
 std::vector<NodeHandle> RoutingTable::all_entries() const {

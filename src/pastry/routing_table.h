@@ -38,6 +38,24 @@ class RoutingTable {
   /// owner and whose next digit is `col`; nullopt if the cell is empty.
   std::optional<NodeHandle> lookup(int row, int col) const;
 
+  /// Allocation-free variant of lookup for the per-hop fast path: a pointer
+  /// into the table (valid until the next mutation), or nullptr if the cell
+  /// is empty or out of range.
+  const NodeHandle* lookup_ptr(int row, int col) const {
+    if (row < 0 || row >= kIdDigits || col < 0 || col >= kIdBase) return nullptr;
+    const auto& cell = cells_[static_cast<std::size_t>(cell_index(row, col))];
+    return cell.has_value() ? &cell->node : nullptr;
+  }
+
+  /// Visits every populated entry without materializing a vector (rule-3
+  /// fallback scans and departure announcements run through here).
+  template <class Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& cell : cells_) {
+      if (cell.has_value()) fn(cell->node);
+    }
+  }
+
   /// All distinct nodes currently in the table.
   std::vector<NodeHandle> all_entries() const;
 

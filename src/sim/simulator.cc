@@ -1,56 +1,103 @@
 #include "sim/simulator.h"
 
-#include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace vb::sim {
 
-void Simulator::schedule_in(SimTime delay, std::function<void()> action) {
-  if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
-  queue_.push(now_ + delay, std::move(action));
-}
-
-void Simulator::schedule_at(SimTime t, std::function<void()> action) {
-  if (t < now_) throw std::invalid_argument("Simulator: schedule in the past");
-  queue_.push(t, std::move(action));
-}
-
-void Simulator::schedule_periodic(SimTime phase, SimTime period,
-                                  std::function<bool()> action, SimTime until) {
+Simulator::PeriodicHandle Simulator::schedule_periodic(SimTime phase,
+                                                       SimTime period,
+                                                       PeriodicFn action,
+                                                       SimTime until) {
   if (period <= 0) throw std::invalid_argument("Simulator: period <= 0");
   SimTime first = now_ + phase;
-  if (first >= until) return;
-  // The recurring closure owns the user action and re-arms itself.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, until, action = std::move(action), tick]() {
-    if (!action()) return;  // action asked to stop
-    SimTime next = now_ + period;
-    if (next < until) queue_.push(next, *tick);
-  };
-  queue_.push(first, *tick);
+  if (first >= until) return PeriodicHandle{};
+
+  std::uint32_t slot;
+  if (!periodic_free_.empty()) {
+    slot = periodic_free_.back();
+    periodic_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(periodic_.size());
+    periodic_.emplace_back();
+  }
+  PeriodicTask& t = periodic_[slot];
+  t.action = std::move(action);
+  t.period = period;
+  t.until = until;
+  t.active = true;
+  std::uint32_t gen = t.gen;
+  t.pending = queue_.push(first, [this, slot, gen] { periodic_fire(slot, gen); });
+  return PeriodicHandle{gen, slot};
+}
+
+bool Simulator::cancel_periodic(PeriodicHandle h) {
+  if (!h.valid() || h.slot() >= periodic_.size()) return false;
+  PeriodicTask& t = periodic_[h.slot()];
+  if (!t.active || t.gen != h.gen()) return false;
+  queue_.cancel(t.pending);  // no-op when called from inside the tick itself
+  release_periodic(h.slot());
+  return true;
+}
+
+void Simulator::periodic_fire(std::uint32_t slot, std::uint32_t gen) {
+  {
+    PeriodicTask& t = periodic_[slot];
+    if (!t.active || t.gen != gen) return;  // cancelled while armed
+    t.pending = kInvalidEventId;
+  }
+  // Run the action outside the slab reference: it may schedule new periodics
+  // (growing periodic_) or cancel itself, so re-index afterwards.
+  PeriodicFn action = std::move(periodic_[slot].action);
+  bool keep = action();
+  PeriodicTask& t = periodic_[slot];
+  if (!t.active || t.gen != gen) return;  // cancelled from inside the action
+  if (!keep) {
+    release_periodic(slot);
+    return;
+  }
+  t.action = std::move(action);
+  SimTime next = now_ + t.period;
+  if (next >= t.until) {
+    release_periodic(slot);
+    return;
+  }
+  t.pending = queue_.push(next, [this, slot, gen] { periodic_fire(slot, gen); });
+}
+
+void Simulator::release_periodic(std::uint32_t slot) {
+  PeriodicTask& t = periodic_[slot];
+  t.action.reset();
+  t.pending = kInvalidEventId;
+  t.active = false;
+  ++t.gen;
+  periodic_free_.push_back(slot);
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.next_time() <= t) {
-    Event e = queue_.pop();
-    now_ = e.time;
+  while (!queue_.empty()) {
+    SimTime next = queue_.next_time();
+    if (next > t) break;
+    now_ = next;
     ++executed_;
-    e.action();
+    queue_.run_top();  // executes the callback in place, no closure move
   }
   if (now_ < t) now_ = t;
 }
 
 void Simulator::run_to_completion() {
-  while (step()) {
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    ++executed_;
+    queue_.run_top();
   }
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  Event e = queue_.pop();
-  now_ = e.time;
+  now_ = queue_.next_time();
   ++executed_;
-  e.action();
+  queue_.run_top();
   return true;
 }
 

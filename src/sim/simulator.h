@@ -7,37 +7,80 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
+#include <stdexcept>
+#include <vector>
 
 #include "sim/event_queue.h"
 
 namespace vb::sim {
+
+/// Periodic-task callback: return true to keep firing, false to stop.
+/// 64 inline bytes cover every periodic closure in the tree (they capture a
+/// pointer or two); larger captures fall back to one allocation at arm time,
+/// never per tick.
+using PeriodicFn = UniqueFunction<bool(), 64>;
 
 /// Single-threaded discrete-event simulator.
 ///
 /// Usage:
 ///   Simulator s;
 ///   s.schedule_in(0.5, [] { ... });
+///   auto h = s.schedule_periodic(0.0, 1.0, [] { ...; return true; });
 ///   s.run_until(60.0);
+///   s.cancel_periodic(h);
 class Simulator {
  public:
+  /// Opaque handle to a periodic task; pass to cancel_periodic.  Default
+  /// constructed (or returned for a never-firing schedule) it is invalid.
+  class PeriodicHandle {
+   public:
+    PeriodicHandle() = default;
+    bool valid() const { return bits_ != 0; }
+
+   private:
+    friend class Simulator;
+    PeriodicHandle(std::uint32_t gen, std::uint32_t slot)
+        : bits_((static_cast<std::uint64_t>(gen) << 32) | slot) {}
+    std::uint32_t slot() const { return static_cast<std::uint32_t>(bits_); }
+    std::uint32_t gen() const { return static_cast<std::uint32_t>(bits_ >> 32); }
+    std::uint64_t bits_ = 0;
+  };
+
   /// Current simulated time in seconds.
   SimTime now() const { return now_; }
 
-  /// Schedules `action` `delay` seconds from now (delay >= 0).
-  void schedule_in(SimTime delay, std::function<void()> action);
+  /// Schedules `action` `delay` seconds from now (delay >= 0).  The returned
+  /// ticket can cancel the event before it fires.  Templated (like
+  /// EventQueue::push) so the closure is built in place in the event slab.
+  template <class F>
+  EventId schedule_in(SimTime delay, F&& action) {
+    if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
+    return queue_.push(now_ + delay, std::forward<F>(action));
+  }
 
   /// Schedules `action` at absolute time `t` (t >= now()).
-  void schedule_at(SimTime t, std::function<void()> action);
+  template <class F>
+  EventId schedule_at(SimTime t, F&& action) {
+    if (t < now_) throw std::invalid_argument("Simulator: schedule in the past");
+    return queue_.push(t, std::forward<F>(action));
+  }
 
-  /// Schedules `action` every `period` seconds, starting at now()+`phase`.
-  /// The task reschedules itself until `until` (exclusive) or forever if
-  /// `until` is infinity.  Returns nothing; cancellation is by the action
-  /// itself returning false.
-  void schedule_periodic(SimTime phase, SimTime period,
-                         std::function<bool()> action,
-                         SimTime until = std::numeric_limits<SimTime>::infinity());
+  /// Cancels a one-shot event scheduled via schedule_in/schedule_at.
+  /// Returns true if it was still pending.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Schedules `action` every `period` seconds, starting at now()+`phase`,
+  /// until `until` (exclusive) or until the action returns false or the
+  /// returned handle is cancelled.  The action is stored once; re-arming
+  /// schedules a 16-byte tick closure, never a copy of the action.
+  PeriodicHandle schedule_periodic(
+      SimTime phase, SimTime period, PeriodicFn action,
+      SimTime until = std::numeric_limits<SimTime>::infinity());
+
+  /// Cancels a periodic task.  Returns true if it was still active.  Safe to
+  /// call from within the task's own action.
+  bool cancel_periodic(PeriodicHandle h);
 
   /// Runs events until the queue drains or simulated time would exceed `t`.
   /// Afterwards now() == min(t, drain time).  Events at exactly `t` run.
@@ -58,10 +101,29 @@ class Simulator {
   /// Number of events ever scheduled.
   std::uint64_t events_scheduled() const { return queue_.total_pushed(); }
 
+  /// Number of events cancelled before firing.
+  std::uint64_t events_cancelled() const { return queue_.total_cancelled(); }
+
  private:
+  // One recurring task, stored in a recycled slab so a periodic's action is
+  // constructed exactly once however many times it fires.
+  struct PeriodicTask {
+    PeriodicFn action;
+    SimTime period = 0.0;
+    SimTime until = 0.0;
+    EventId pending = kInvalidEventId;  // currently-armed tick event
+    std::uint32_t gen = 1;
+    bool active = false;
+  };
+
+  void periodic_fire(std::uint32_t slot, std::uint32_t gen);
+  void release_periodic(std::uint32_t slot);
+
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
+  std::vector<PeriodicTask> periodic_;
+  std::vector<std::uint32_t> periodic_free_;
 };
 
 }  // namespace vb::sim

@@ -139,12 +139,12 @@ std::vector<VBundleCloud::BootResult> VBundleCloud::boot_vms(
   return out;
 }
 
-void VBundleCloud::attach_demand_model(const load::DemandModel* model,
-                                       double apply_interval_s) {
+sim::Simulator::PeriodicHandle VBundleCloud::attach_demand_model(
+    const load::DemandModel* model, double apply_interval_s) {
   if (model == nullptr) {
     throw std::invalid_argument("attach_demand_model: null model");
   }
-  sim_.schedule_periodic(0.0, apply_interval_s, [this, model]() {
+  return sim_.schedule_periodic(0.0, apply_interval_s, [this, model]() {
     model->apply(*fleet_, sim_.now());
     return true;
   });
@@ -156,28 +156,36 @@ void VBundleCloud::start_rebalancing(double update_phase_s,
     VBundleAgent* a = owned_agents_[i].get();
     // Small per-host stagger: servers are not clock-synchronized.
     double jitter = static_cast<double>(i % 100) * 0.013;
-    sim_.schedule_periodic(update_phase_s + jitter,
-                           cfg_.vbundle.update_interval_s, [a]() {
-                             a->update_tick();
-                             return true;
-                           });
-    sim_.schedule_periodic(rebalance_phase_s + jitter,
-                           cfg_.vbundle.rebalance_interval_s, [a]() {
-                             a->rebalance_tick();
-                             return true;
-                           });
+    rebalance_tasks_.push_back(sim_.schedule_periodic(
+        update_phase_s + jitter, cfg_.vbundle.update_interval_s, [a]() {
+          a->update_tick();
+          return true;
+        }));
+    rebalance_tasks_.push_back(sim_.schedule_periodic(
+        rebalance_phase_s + jitter, cfg_.vbundle.rebalance_interval_s, [a]() {
+          a->rebalance_tick();
+          return true;
+        }));
     // Overlay upkeep per update interval: Pastry leaf-set stabilization and
     // Scribe tree heartbeats (self-organizing, self-repairing trees).
     pastry::PastryNode* node = &a->node();
     scribe::ScribeNode* sn = &scribe_->at(node->id());
-    sim_.schedule_periodic(update_phase_s + jitter + 1.0,
-                           cfg_.vbundle.update_interval_s, [node, sn]() {
-                             node->stabilize();
-                             node->maintain_routing_table();
-                             sn->maintenance();
-                             return true;
-                           });
+    rebalance_tasks_.push_back(sim_.schedule_periodic(
+        update_phase_s + jitter + 1.0, cfg_.vbundle.update_interval_s,
+        [node, sn]() {
+          node->stabilize();
+          node->maintain_routing_table();
+          sn->maintenance();
+          return true;
+        }));
   }
+}
+
+void VBundleCloud::stop_rebalancing() {
+  for (sim::Simulator::PeriodicHandle h : rebalance_tasks_) {
+    sim_.cancel_periodic(h);
+  }
+  rebalance_tasks_.clear();
 }
 
 double VBundleCloud::utilization_stddev() const {

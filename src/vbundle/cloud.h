@@ -100,9 +100,10 @@ class VBundleCloud {
 
   /// Applies `model` every `apply_interval_s` simulated seconds (demands
   /// change between aggregation rounds, like real workload variation).
-  /// The model must outlive the cloud run.
-  void attach_demand_model(const load::DemandModel* model,
-                           double apply_interval_s);
+  /// The model must outlive the cloud run.  The returned handle cancels the
+  /// periodic application (sim::Simulator::cancel_periodic).
+  sim::Simulator::PeriodicHandle attach_demand_model(
+      const load::DemandModel* model, double apply_interval_s);
 
   // --- the v-Bundle rebalancing service ------------------------------------
   /// Starts periodic update ticks (every cfg.vbundle.update_interval_s,
@@ -114,6 +115,10 @@ class VBundleCloud {
   void start_rebalancing() {
     start_rebalancing(0.0, cfg_.vbundle.rebalance_interval_s);
   }
+  /// Cancels every periodic tick started by start_rebalancing (update,
+  /// rebalance, and overlay-upkeep tasks).  The cloud keeps serving boot
+  /// requests; rebalancing can be restarted later.
+  void stop_rebalancing();
 
   // --- snapshots & stats ---------------------------------------------------
   std::vector<double> utilization_snapshot() const {
@@ -157,6 +162,7 @@ class VBundleCloud {
 
   std::vector<std::string> customers_;
   std::vector<U128> customer_keys_;
+  std::vector<sim::Simulator::PeriodicHandle> rebalance_tasks_;
 };
 
 }  // namespace vb::core

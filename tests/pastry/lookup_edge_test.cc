@@ -1,0 +1,206 @@
+// Edge cases for the routing fast path: self-routing, one-node networks,
+// keys exactly equidistant between leaf-set neighbors, and digit/row
+// boundaries at the 128-bit extremes.  These pin the corner semantics that
+// the allocation-free next_hop rewrite (lookup_ptr + for_each visitors)
+// must preserve.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/u128.h"
+#include "net/topology.h"
+#include "pastry/leaf_set.h"
+#include "pastry/message.h"
+#include "pastry/pastry_network.h"
+#include "pastry/pastry_node.h"
+#include "pastry/routing_table.h"
+#include "sim/simulator.h"
+
+namespace vb::pastry {
+namespace {
+
+net::TopologyConfig small_topology() {
+  net::TopologyConfig t;
+  t.num_pods = 2;
+  t.racks_per_pod = 2;
+  t.hosts_per_rack = 4;  // 16 hosts
+  return t;
+}
+
+struct RecordingApp : PastryApp {
+  std::vector<U128> delivered_at;  // id of the delivering node, per message
+  void deliver(PastryNode& self, const RouteMsg& msg) override {
+    (void)msg;
+    delivered_at.push_back(self.id());
+  }
+};
+
+struct NullPayload : Payload {
+  std::size_t wire_bytes() const override { return 16; }
+  std::string name() const override { return "test.null"; }
+};
+
+TEST(LookupEdge, NextHopForOwnIdIsSelf) {
+  sim::Simulator sim;
+  net::Topology topo(small_topology());
+  PastryNetwork net(&sim, &topo);
+  for (int h = 0; h < 8; ++h) {
+    net.add_node_oracle(U128{0x1000u + 0x100u * static_cast<unsigned>(h)}, h);
+  }
+  for (PastryNode* n : net.nodes()) {
+    EXPECT_EQ(n->next_hop(n->id()), n->handle());
+  }
+}
+
+TEST(LookupEdge, RouteToOwnIdDeliversLocallyWithoutForwarding) {
+  sim::Simulator sim;
+  net::Topology topo(small_topology());
+  PastryNetwork net(&sim, &topo);
+  std::vector<std::unique_ptr<RecordingApp>> apps;
+  for (int h = 0; h < 8; ++h) {
+    PastryNode& n =
+        net.add_node_oracle(U128{0x1000u + 0x100u * static_cast<unsigned>(h)}, h);
+    apps.push_back(std::make_unique<RecordingApp>());
+    n.add_app(apps.back().get());
+  }
+  PastryNode* src = net.nodes().front();
+  src->route(src->id(), std::make_shared<NullPayload>());
+  sim.run_to_completion();
+  ASSERT_EQ(apps.front()->delivered_at.size(), 1u);
+  EXPECT_EQ(apps.front()->delivered_at.front(), src->id());
+  for (std::size_t i = 1; i < apps.size(); ++i) {
+    EXPECT_TRUE(apps[i]->delivered_at.empty());
+  }
+}
+
+TEST(LookupEdge, SingleNodeNetworkOwnsTheWholeRing) {
+  sim::Simulator sim;
+  net::Topology topo(small_topology());
+  PastryNetwork net(&sim, &topo);
+  PastryNode& only = net.add_node_oracle(U128{0xABCDEFu}, 0);
+  RecordingApp app;
+  only.add_app(&app);
+
+  // Whatever the key — including the ring extremes — a lone node is the
+  // closest node and must deliver to itself.
+  const U128 keys[] = {U128{0}, U128::max(), U128{0xABCDEFu},
+                       U128{~0ULL, 0}, U128{1}};
+  for (const U128& k : keys) {
+    EXPECT_EQ(only.next_hop(k), only.handle()) << k.to_hex();
+    only.route(k, std::make_shared<NullPayload>());
+  }
+  sim.run_to_completion();
+  EXPECT_EQ(app.delivered_at.size(), std::size(keys));
+}
+
+TEST(LookupEdge, EquidistantKeyTieBreaksTowardSmallerIdInLeafSet) {
+  // Key 0x20 sits exactly between leaves 0x10 and 0x30 (distance 0x10 each).
+  // The unique-owner rule says ties break toward the numerically smaller id.
+  LeafSet leafs(U128{0x1000u}, 4);
+  NodeHandle low{U128{0x10u}, 1};
+  NodeHandle high{U128{0x30u}, 2};
+  EXPECT_TRUE(leafs.consider(high));
+  EXPECT_TRUE(leafs.consider(low));
+  NodeHandle owner{U128{0x1000u}, 0};
+  EXPECT_EQ(leafs.closest(U128{0x20u}, owner).id, low.id);
+  // Insertion order must not matter.
+  LeafSet leafs2(U128{0x1000u}, 4);
+  EXPECT_TRUE(leafs2.consider(low));
+  EXPECT_TRUE(leafs2.consider(high));
+  EXPECT_EQ(leafs2.closest(U128{0x20u}, owner).id, low.id);
+}
+
+TEST(LookupEdge, EquidistantKeyAcrossTheRingWrapAlsoTieBreaks) {
+  // Leaves at max-1 and +1 surround key 0 across the wrap, both at ring
+  // distance 1... make it exactly equidistant: leaves max (dist 1) and 1
+  // (dist 1) around key 0 -> winner is id 1?  No: the numerically smaller id
+  // is 1 (id max is numerically the largest value on the ring).
+  LeafSet leafs(U128{0x8000u}, 4);
+  NodeHandle wrap{U128::max(), 1};
+  NodeHandle one{U128{1}, 2};
+  leafs.consider(wrap);
+  leafs.consider(one);
+  NodeHandle owner{U128{0x8000u}, 0};
+  EXPECT_EQ(leafs.closest(U128{0}, owner).id, one.id);
+}
+
+TEST(LookupEdge, EndToEndEquidistantKeyLandsOnSmallerId) {
+  sim::Simulator sim;
+  net::Topology topo(small_topology());
+  PastryNetwork net(&sim, &topo);
+  RecordingApp app_low;
+  RecordingApp app_high;
+  PastryNode& low = net.add_node_oracle(U128{0x10u}, 0);
+  PastryNode& high = net.add_node_oracle(U128{0x30u}, 1);
+  low.add_app(&app_low);
+  high.add_app(&app_high);
+  high.route(U128{0x20u}, std::make_shared<NullPayload>());
+  sim.run_to_completion();
+  EXPECT_EQ(app_low.delivered_at.size(), 1u);
+  EXPECT_TRUE(app_high.delivered_at.empty());
+}
+
+TEST(LookupEdge, RoutingTableRowZeroAndLastRowBoundaries) {
+  RoutingTable table(U128{0});  // owner id 00...0
+
+  // All-F id shares zero digits with the owner; first digit is 15: row 0,
+  // col 15 — the extreme corner of the first row.
+  NodeHandle allf{U128::max(), 1};
+  EXPECT_TRUE(table.consider(allf, 1));
+  ASSERT_NE(table.lookup_ptr(0, 15), nullptr);
+  EXPECT_EQ(table.lookup_ptr(0, 15)->id, allf.id);
+  EXPECT_EQ(table.lookup(0, 15)->id, allf.id);
+
+  // An id differing from the owner only in the very last digit shares 31
+  // digits: the deepest possible row.
+  NodeHandle lastdigit{U128{7}, 2};
+  EXPECT_TRUE(table.consider(lastdigit, 1));
+  ASSERT_NE(table.lookup_ptr(31, 7), nullptr);
+  EXPECT_EQ(table.lookup_ptr(31, 7)->id, lastdigit.id);
+
+  // The owner's own digit column in any row never holds an entry, and the
+  // owner itself is never admitted.
+  EXPECT_FALSE(table.consider(NodeHandle{U128{0}, 3}, 0));
+  EXPECT_EQ(table.lookup_ptr(31, 0), nullptr);
+}
+
+TEST(LookupEdge, LookupPtrRejectsOutOfRangeIndices) {
+  RoutingTable table(U128{0});
+  table.consider(NodeHandle{U128::max(), 1}, 1);
+  EXPECT_EQ(table.lookup_ptr(-1, 0), nullptr);
+  EXPECT_EQ(table.lookup_ptr(0, -1), nullptr);
+  EXPECT_EQ(table.lookup_ptr(kIdDigits, 0), nullptr);
+  EXPECT_EQ(table.lookup_ptr(0, kIdBase), nullptr);
+  EXPECT_FALSE(table.lookup(kIdDigits, 0).has_value());
+  EXPECT_FALSE(table.lookup(0, kIdBase).has_value());
+}
+
+TEST(LookupEdge, SharedPrefixDigitsAtExtremesAndLimbBoundary) {
+  EXPECT_EQ(shared_prefix_digits(U128{0}, U128{0}), 32);
+  EXPECT_EQ(shared_prefix_digits(U128::max(), U128::max()), 32);
+  EXPECT_EQ(shared_prefix_digits(U128{0}, U128::max()), 0);
+  // Differ only in the least-significant digit: 31 shared.
+  EXPECT_EQ(shared_prefix_digits(U128{0}, U128{1}), 31);
+  // Differ first at digit 16 — the hi/lo limb boundary the countl_zero fast
+  // path has to cross correctly.
+  U128 a{0x0123456789ABCDEFull, 0x0000000000000000ull};
+  U128 b{0x0123456789ABCDEFull, 0x1000000000000000ull};
+  EXPECT_EQ(shared_prefix_digits(a, b), 16);
+  // Differ in the most significant digit: 0 shared.
+  EXPECT_EQ(shared_prefix_digits(U128{0}, U128{1ull << 63, 0}), 0);
+}
+
+TEST(LookupEdge, RingDistanceAndCloserOnRingAcrossTheWrap) {
+  // max and 0 are adjacent on the ring.
+  EXPECT_EQ(ring_distance(U128::max(), U128{0}), U128{1});
+  EXPECT_EQ(ring_distance(U128{0}, U128::max()), U128{1});
+  // Candidate just across the wrap beats an incumbent two steps away.
+  EXPECT_TRUE(closer_on_ring(U128{0}, U128::max(), U128{2}));
+  // Exact equidistance: the numerically smaller id wins.
+  EXPECT_TRUE(closer_on_ring(U128{0x20u}, U128{0x10u}, U128{0x30u}));
+  EXPECT_FALSE(closer_on_ring(U128{0x20u}, U128{0x30u}, U128{0x10u}));
+}
+
+}  // namespace
+}  // namespace vb::pastry
