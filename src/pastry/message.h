@@ -26,6 +26,8 @@ enum class MsgCategory {
   kAggregation,         // aggregation tree updates & publishes
   kVBundle,             // placement queries, load-balance anycast, acks
   kApp,                 // everything else (examples/tests)
+  kRetransmit,          // reliable-delivery retransmissions (loss recovery)
+  kAck,                 // reliable-delivery acknowledgements
 };
 
 inline const char* to_string(MsgCategory c) {
@@ -34,6 +36,8 @@ inline const char* to_string(MsgCategory c) {
     case MsgCategory::kScribeControl: return "scribe";
     case MsgCategory::kAggregation: return "aggregation";
     case MsgCategory::kVBundle: return "vbundle";
+    case MsgCategory::kRetransmit: return "retransmit";
+    case MsgCategory::kAck: return "ack";
     default: return "app";
   }
 }

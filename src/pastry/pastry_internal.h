@@ -2,6 +2,7 @@
 // Applications never see these: PastryNode consumes them before app upcalls.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "pastry/message.h"
@@ -64,6 +65,29 @@ struct RowReply : Payload {
   std::vector<NodeHandle> entries;
   std::size_t wire_bytes() const override { return 24 + 24 * entries.size(); }
   std::string name() const override { return "pastry.row_rep"; }
+};
+
+/// Direct: wrapper giving a payload at-least-once delivery with
+/// receive-side dedup.  The receiver acks every copy (acks can be lost
+/// too), processes the inner payload only for an unseen (sender, seq), and
+/// unwraps it into the normal direct-message path.
+struct ReliableEnvelope : Payload {
+  PayloadPtr inner;
+  MsgCategory inner_category = MsgCategory::kApp;
+  std::uint64_t seq = 0;        ///< per-sender sequence number
+  NodeHandle sender;            ///< dedup key (envelopes may be forwarded
+                                ///  through transport duplicates)
+  std::size_t wire_bytes() const override {
+    return 16 + (inner ? inner->wire_bytes() : 0);
+  }
+  std::string name() const override { return "pastry.rel"; }
+};
+
+/// Direct: acknowledges one ReliableEnvelope sequence number.
+struct AckMsg : Payload {
+  std::uint64_t seq = 0;
+  std::size_t wire_bytes() const override { return 16; }
+  std::string name() const override { return "pastry.ack"; }
 };
 
 }  // namespace vb::pastry::internal

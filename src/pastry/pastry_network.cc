@@ -25,6 +25,8 @@ void TrafficCounters::add(MsgCategory c, std::size_t bytes) {
 void TrafficCounters::reset() {
   msgs_sent.fill(0);
   bytes_sent.fill(0);
+  fault_dropped_msgs = 0;
+  fault_dup_msgs = 0;
 }
 
 PastryNetwork::PastryNetwork(sim::Simulator* simulator, const net::Topology* topo)
@@ -77,12 +79,13 @@ void PastryNetwork::depart_node(const U128& id) {
   Entry& e = entry_of(id);
   if (!e.alive) throw std::logic_error("depart_node: already dead");
   e.node->announce_departure();
-  // Die after the farewells arrive (one worst-case hop plus slack).
-  double grace = 2.0 * topo_->latency_s(0, topo_->num_hosts() - 1) + 0.05;
-  sim_->schedule_in(grace, [this, id]() {
-    auto it = nodes_.find(id);
-    if (it != nodes_.end()) it->second.alive = false;
-  });
+  // Death is atomic with the announcement: the farewells are already on the
+  // wire (scheduled above), and from this instant every message addressed to
+  // the departed node — including ones that were racing the farewell —
+  // bounces to its sender's failure handler.  The old "die one cross-pod
+  // latency later" grace period let such racers be delivered to a node that
+  // had already said goodbye, so a reply could originate from the dead.
+  e.alive = false;
 }
 
 bool PastryNetwork::is_alive(const U128& id) const {
@@ -146,16 +149,36 @@ NodeHandle PastryNetwork::global_closest(const U128& key) const {
   return best;
 }
 
+sim::FaultDecision PastryNetwork::consult_fault_plan(const NodeHandle& from,
+                                                     const NodeHandle& to) {
+  if (fault_plan_ == nullptr) return {};
+  sim::FaultEndpoints ep;
+  ep.src_host = static_cast<int>(from.host);
+  ep.dst_host = static_cast<int>(to.host);
+  ep.src_rack = topo_->rack_of(from.host);
+  ep.dst_rack = topo_->rack_of(to.host);
+  ep.src_pod = topo_->pod_of(from.host);
+  ep.dst_pod = topo_->pod_of(to.host);
+  return fault_plan_->decide(sim_->now(), ep);
+}
+
 void PastryNetwork::send_route(const NodeHandle& from, const NodeHandle& to,
                                RouteMsg msg) {
-  entry_of(from.id).counters.add(msg.category,
-                                 msg.payload ? msg.payload->wire_bytes() : 16);
+  Entry& sender = entry_of(from.id);
+  // A dead node's pending timers can still fire; their sends go nowhere.
+  if (!sender.alive) return;
+  sender.counters.add(msg.category,
+                      msg.payload ? msg.payload->wire_bytes() : 16);
+  sim::FaultDecision fault = consult_fault_plan(from, to);
+  if (fault.drop) {
+    sender.counters.fault_dropped_msgs += 1;
+    return;  // silent loss: no bounce, no failure callback — pure chaos
+  }
   double lat = topo_->latency_s(from.host, to.host);
   U128 from_id = from.id;
   U128 to_id = to.id;
   NodeHandle to_handle = to;
-  sim_->schedule_in(lat, [this, from_id, to_id, to_handle,
-                          m = std::move(msg)]() mutable {
+  auto deliver = [this, from_id, to_id, to_handle](RouteMsg m) mutable {
     auto it = nodes_.find(to_id);
     if (it == nodes_.end() || !it->second.alive) {
       // Destination dead: surface the failure to the sender after a
@@ -166,20 +189,35 @@ void PastryNetwork::send_route(const NodeHandle& from, const NodeHandle& to,
       return;
     }
     it->second.node->handle_route_msg(std::move(m));
-  });
+  };
+  if (fault.duplicate) {
+    sender.counters.fault_dup_msgs += 1;
+    sim_->schedule_in(lat + fault.dup_extra_delay_s,
+                      [deliver, m = msg]() mutable { deliver(std::move(m)); });
+  }
+  sim_->schedule_in(lat + fault.extra_delay_s,
+                    [deliver, m = std::move(msg)]() mutable {
+                      deliver(std::move(m));
+                    });
 }
 
 void PastryNetwork::send_direct(const NodeHandle& from, const NodeHandle& to,
                                 PayloadPtr payload, MsgCategory category) {
-  entry_of(from.id).counters.add(category,
-                                 payload ? payload->wire_bytes() : 16);
+  Entry& sender = entry_of(from.id);
+  if (!sender.alive) return;
+  sender.counters.add(category, payload ? payload->wire_bytes() : 16);
+  sim::FaultDecision fault = consult_fault_plan(from, to);
+  if (fault.drop) {
+    sender.counters.fault_dropped_msgs += 1;
+    return;
+  }
   double lat = topo_->latency_s(from.host, to.host);
   U128 from_id = from.id;
   U128 to_id = to.id;
   NodeHandle from_handle = from;
   NodeHandle to_handle = to;
-  sim_->schedule_in(lat, [this, from_id, to_id, from_handle, to_handle,
-                          p = std::move(payload), category]() {
+  auto deliver = [this, from_id, to_id, from_handle, to_handle,
+                  p = std::move(payload), category]() {
     auto it = nodes_.find(to_id);
     if (it == nodes_.end() || !it->second.alive) {
       auto sit = nodes_.find(from_id);
@@ -188,7 +226,12 @@ void PastryNetwork::send_direct(const NodeHandle& from, const NodeHandle& to,
       return;
     }
     it->second.node->handle_direct_msg(from_handle, p, category);
-  });
+  };
+  if (fault.duplicate) {
+    sender.counters.fault_dup_msgs += 1;
+    sim_->schedule_in(lat + fault.dup_extra_delay_s, deliver);
+  }
+  sim_->schedule_in(lat + fault.extra_delay_s, std::move(deliver));
 }
 
 const TrafficCounters& PastryNetwork::counters(const U128& id) const {
@@ -222,6 +265,18 @@ void PastryNetwork::reset_counters() {
 std::uint64_t PastryNetwork::total_msgs() const {
   std::uint64_t t = 0;
   for (const auto& [id, e] : nodes_) t += e.counters.total_msgs();
+  return t;
+}
+
+std::uint64_t PastryNetwork::total_fault_dropped() const {
+  std::uint64_t t = 0;
+  for (const auto& [id, e] : nodes_) t += e.counters.fault_dropped_msgs;
+  return t;
+}
+
+std::uint64_t PastryNetwork::total_fault_dups() const {
+  std::uint64_t t = 0;
+  for (const auto& [id, e] : nodes_) t += e.counters.fault_dup_msgs;
   return t;
 }
 

@@ -14,15 +14,22 @@
 
 #include "net/topology.h"
 #include "pastry/pastry_node.h"
+#include "sim/fault_plan.h"
 #include "sim/simulator.h"
 
 namespace vb::pastry {
 
 /// Per-node traffic counters, split by message category.
 struct TrafficCounters {
-  static constexpr int kCategories = 5;
+  static constexpr int kCategories = 7;
   std::array<std::uint64_t, kCategories> msgs_sent{};
   std::array<std::uint64_t, kCategories> bytes_sent{};
+  /// Messages this node sent that the fault plan destroyed in flight
+  /// (loss or partition) / duplicated in flight.  Kept outside the
+  /// category arrays: the sender is still charged for the send, these
+  /// record what the network did to it afterwards.
+  std::uint64_t fault_dropped_msgs = 0;
+  std::uint64_t fault_dup_msgs = 0;
 
   std::uint64_t total_msgs() const;
   std::uint64_t total_bytes() const;
@@ -51,8 +58,11 @@ class PastryNetwork {
   void kill_node(const U128& id);
 
   /// Graceful departure: the node announces itself to all peers (they purge
-  /// it eagerly) and dies once the farewell messages have had time to
-  /// arrive (one cross-pod latency later, on the simulator).
+  /// it eagerly) and dies *immediately after* the farewells are put on the
+  /// wire.  Death is atomic with the announcement — no window exists in
+  /// which a racing message can still be delivered to the departed node
+  /// (messages already in flight bounce to the sender's failure handler,
+  /// exactly like a crash).
   void depart_node(const U128& id);
 
   bool is_alive(const U128& id) const;
@@ -73,6 +83,17 @@ class PastryNetwork {
   void send_route(const NodeHandle& from, const NodeHandle& to, RouteMsg msg);
   void send_direct(const NodeHandle& from, const NodeHandle& to,
                    PayloadPtr payload, MsgCategory category);
+
+  // --- chaos injection ----------------------------------------------------
+  /// Attaches a fault plan to the transport choke point; nullptr detaches.
+  /// The plan must outlive the network (tests own it on the stack).  Every
+  /// send consults the plan exactly once, so (seed, plan) replays are
+  /// bit-identical.
+  void set_fault_plan(sim::FaultPlan* plan) { fault_plan_ = plan; }
+  sim::FaultPlan* fault_plan() const { return fault_plan_; }
+  /// Messages destroyed / duplicated by the fault plan, summed over nodes.
+  std::uint64_t total_fault_dropped() const;
+  std::uint64_t total_fault_dups() const;
 
   // --- instrumentation ---------------------------------------------------
   const TrafficCounters& counters(const U128& id) const;
@@ -103,9 +124,15 @@ class PastryNetwork {
 
   Entry& entry_of(const U128& id);
 
+  /// Consults the fault plan (if any) for one message from→to.  Returns the
+  /// default no-fault decision when no plan is attached.
+  sim::FaultDecision consult_fault_plan(const NodeHandle& from,
+                                        const NodeHandle& to);
+
   sim::Simulator* sim_;
   const net::Topology* topo_;
   std::map<U128, Entry> nodes_;  // ordered: gives ring order for oracle ops
+  sim::FaultPlan* fault_plan_ = nullptr;
   int last_delivery_hops_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "pastry/pastry_node.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "pastry/pastry_internal.h"
 #include "pastry/pastry_network.h"
@@ -35,6 +36,54 @@ void PastryNode::route(const U128& key, PayloadPtr payload,
 void PastryNode::send_direct(const NodeHandle& dest, PayloadPtr payload,
                              MsgCategory category) {
   network_->send_direct(handle_, dest, std::move(payload), category);
+}
+
+void PastryNode::send_reliable(const NodeHandle& dest, PayloadPtr payload,
+                               MsgCategory category) {
+  auto env = std::make_shared<internal::ReliableEnvelope>();
+  env->inner = std::move(payload);
+  env->inner_category = category;
+  env->seq = next_reliable_seq_++;
+  env->sender = handle_;
+
+  PendingReliable pending;
+  pending.dest = dest;
+  pending.envelope = env;
+  std::uint64_t seq = env->seq;
+  pending.timer = network_->simulator().schedule_in(
+      pending.rto_s, [this, seq]() { retransmit_reliable(seq); });
+  pending_reliable_.emplace(seq, std::move(pending));
+
+  network_->send_direct(handle_, dest, std::move(env), category);
+}
+
+void PastryNode::retransmit_reliable(std::uint64_t seq) {
+  auto it = pending_reliable_.find(seq);
+  if (it == pending_reliable_.end()) return;  // acked since the timer fired
+  PendingReliable& p = it->second;
+  if (p.attempts >= kReliableMaxAttempts) {
+    // Give up: the peer is dead, partitioned past our patience, or the acks
+    // keep vanishing.  The protocol layers above (heartbeats, periodic
+    // maintenance, query timeouts) own recovery from here.
+    pending_reliable_.erase(it);
+    return;
+  }
+  p.attempts += 1;
+  p.rto_s = std::min(p.rto_s * 2.0, kReliableMaxRtoS);
+  p.timer = network_->simulator().schedule_in(
+      p.rto_s, [this, seq]() { retransmit_reliable(seq); });
+  network_->send_direct(handle_, p.dest, p.envelope, MsgCategory::kRetransmit);
+}
+
+void PastryNode::fail_pending_reliable_to(const NodeHandle& dead) {
+  for (auto it = pending_reliable_.begin(); it != pending_reliable_.end();) {
+    if (it->second.dest.id == dead.id) {
+      network_->simulator().cancel(it->second.timer);
+      it = pending_reliable_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 NodeHandle PastryNode::next_hop(const U128& key) const {
@@ -192,6 +241,31 @@ void PastryNode::handle_route_msg(RouteMsg msg) {
 void PastryNode::handle_direct_msg(const NodeHandle& from,
                                    const PayloadPtr& payload,
                                    MsgCategory category) {
+  if (auto env =
+          std::dynamic_pointer_cast<const internal::ReliableEnvelope>(payload)) {
+    // Ack every copy — a lost ack must re-trigger one from the retransmit.
+    auto ack = std::make_shared<internal::AckMsg>();
+    ack->seq = env->seq;
+    send_direct(from, std::move(ack), MsgCategory::kAck);
+    auto& seen = seen_reliable_[env->sender.id];
+    if (!seen.insert(env->seq).second) return;  // duplicate: drop after ack
+    if (seen.size() > 4096) {
+      // Deterministic prune: forget the oldest half.  Sequence numbers far
+      // below the live window can no longer arrive as anything but stale
+      // duplicates of long-acked sends.
+      seen.erase(seen.begin(), std::next(seen.begin(), 2048));
+    }
+    handle_direct_msg(env->sender, env->inner, env->inner_category);
+    return;
+  }
+  if (auto ack = std::dynamic_pointer_cast<const internal::AckMsg>(payload)) {
+    auto it = pending_reliable_.find(ack->seq);
+    if (it != pending_reliable_.end()) {
+      network_->simulator().cancel(it->second.timer);
+      pending_reliable_.erase(it);
+    }
+    return;
+  }
   if (auto st = std::dynamic_pointer_cast<const internal::StateTransfer>(payload)) {
     for (const NodeHandle& n : st->nodes) learn(n);
     learn(from);
@@ -257,6 +331,7 @@ void PastryNode::handle_direct_msg(const NodeHandle& from,
 
 void PastryNode::handle_send_failure(const NodeHandle& dead,
                                      RouteMsg* undelivered) {
+  fail_pending_reliable_to(dead);
   purge(dead);
   if (undelivered != nullptr) {
     // Reroute around the failure with our repaired tables.

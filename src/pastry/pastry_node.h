@@ -7,7 +7,10 @@
 // PastryApp interface (Scribe is the main client).
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "pastry/leaf_set.h"
@@ -15,6 +18,7 @@
 #include "pastry/neighbor_set.h"
 #include "pastry/node_id.h"
 #include "pastry/routing_table.h"
+#include "sim/simulator.h"
 
 namespace vb::pastry {
 
@@ -71,6 +75,26 @@ class PastryNode {
   void send_direct(const NodeHandle& dest, PayloadPtr payload,
                    MsgCategory category = MsgCategory::kApp);
 
+  /// Sends `payload` directly to `dest` with at-least-once delivery:
+  /// the payload is wrapped in a ReliableEnvelope, acked by the receiver,
+  /// and retransmitted on timeout with bounded exponential backoff
+  /// (kReliableBaseRtoS doubling up to kReliableMaxRtoS, at most
+  /// kReliableMaxAttempts copies — enough to ride out a 5 s partition).
+  /// The receiver dedups on (sender, seq), so duplicates — retransmits
+  /// or fault-injected — are processed exactly once.  Retransmit copies
+  /// and acks are charged to their own TrafficCounters categories, so the
+  /// first copy's Fig.-15 accounting is unchanged.  Opt-in: plain
+  /// send_direct stays fire-and-forget.
+  void send_reliable(const NodeHandle& dest, PayloadPtr payload,
+                     MsgCategory category = MsgCategory::kApp);
+
+  static constexpr double kReliableBaseRtoS = 0.5;
+  static constexpr double kReliableMaxRtoS = 8.0;
+  static constexpr int kReliableMaxAttempts = 6;  // ~23.5 s before giving up
+
+  /// Reliable sends still awaiting an ack (test/diagnostic aid).
+  std::size_t pending_reliable_count() const { return pending_reliable_.size(); }
+
   /// Chooses the next hop for `key`: self if we are the closest known node.
   NodeHandle next_hop(const U128& key) const;
 
@@ -111,7 +135,20 @@ class PastryNode {
   PastryNetwork& network() { return *network_; }
 
  private:
+  /// One reliable send awaiting its ack.
+  struct PendingReliable {
+    NodeHandle dest;
+    PayloadPtr envelope;  // the ReliableEnvelope, reused verbatim on resend
+    int attempts = 1;
+    double rto_s = kReliableBaseRtoS;
+    sim::EventId timer = sim::kInvalidEventId;
+  };
+
   int proximity_to(const NodeHandle& n) const;
+  void retransmit_reliable(std::uint64_t seq);
+  /// Drops every pending reliable send addressed to a node we now know is
+  /// dead (its transport bounce already triggered purge + app repair).
+  void fail_pending_reliable_to(const NodeHandle& dead);
 
   NodeHandle handle_;
   PastryNetwork* network_;
@@ -120,6 +157,11 @@ class PastryNode {
   LeafSet leafs_;
   NeighborSet neighbors_;
   std::vector<PastryApp*> apps_;
+
+  std::uint64_t next_reliable_seq_ = 1;
+  std::map<std::uint64_t, PendingReliable> pending_reliable_;
+  // Per-sender seen sequence numbers (ordered: pruned deterministically).
+  std::map<U128, std::set<std::uint64_t>> seen_reliable_;
 };
 
 }  // namespace vb::pastry

@@ -50,7 +50,14 @@ void ScribeNode::join(const GroupId& group) {
   st.member = true;
   if (st.attached || st.root) return;  // already on the tree as a forwarder
   if (st.join_pending) return;         // a JOIN is already routing
+  send_join(group, st);
+}
+
+void ScribeNode::send_join(const GroupId& group, GroupState& st) {
   st.join_pending = true;
+  double now = owner_->network().simulator().now();
+  st.next_join_retry_s = now + st.join_backoff_s;
+  st.join_backoff_s = std::min(st.join_backoff_s * 2.0, kJoinBackoffMaxS);
   auto msg = std::make_shared<JoinMsg>();
   msg->group = group;
   msg->joiner = owner_->handle();
@@ -75,7 +82,8 @@ void ScribeNode::maybe_prune(const GroupId& group) {
     auto msg = std::make_shared<LeaveMsg>();
     msg->group = group;
     msg->child = owner_->handle();
-    owner_->send_direct(st.parent, std::move(msg), MsgCategory::kScribeControl);
+    owner_->send_reliable(st.parent, std::move(msg),
+                          MsgCategory::kScribeControl);
   }
   groups_.erase(it);
 }
@@ -102,8 +110,20 @@ void ScribeNode::maintenance() {
     auto hb = std::make_shared<HeartbeatMsg>();
     hb->group = group;
     hb->child = owner_->handle();
-    owner_->send_direct(st.parent, std::move(hb),
-                        MsgCategory::kScribeControl);
+    owner_->send_reliable(st.parent, std::move(hb),
+                          MsgCategory::kScribeControl);
+  }
+
+  // JOIN retransmission: a routed JOIN can die on any lossy hop with no
+  // bounce, so a node that stays unattached past its backoff deadline sends
+  // a fresh one.  Backoff doubles up to kJoinBackoffMaxS; it resets once
+  // the node attaches.
+  double now = owner_->network().simulator().now();
+  for (auto& [group, st] : groups_) {
+    if (st.member && st.join_pending && !st.attached && !st.root &&
+        now >= st.next_join_retry_s) {
+      send_join(group, st);
+    }
   }
 }
 
@@ -172,12 +192,13 @@ bool ScribeNode::forward(pastry::PastryNode& self, pastry::RouteMsg& msg,
         auto leave = std::make_shared<LeaveMsg>();
         leave->group = join->group;
         leave->child = owner_->handle();
-        owner_->send_direct(st.parent, std::move(leave),
-                            MsgCategory::kScribeControl);
+        owner_->send_reliable(st.parent, std::move(leave),
+                              MsgCategory::kScribeControl);
       }
       st.parent = next;
       st.attached = true;
       st.join_pending = false;
+      st.join_backoff_s = kJoinBackoffBaseS;
       for (ScribeApp* app : apps_) app->on_parent_changed(*this, join->group);
       return true;
     }
@@ -228,6 +249,7 @@ void ScribeNode::deliver(pastry::PastryNode& self, const pastry::RouteMsg& msg) 
       add_child(join->group, join->joiner);
     } else {
       st.join_pending = false;
+      st.join_backoff_s = kJoinBackoffBaseS;
     }
     return;
   }
@@ -261,6 +283,10 @@ void ScribeNode::disseminate(const GroupId& group, const PayloadPtr& inner,
   if (st->member) {
     for (ScribeApp* app : apps_) app->on_multicast(*this, group, inner);
   }
+  // Dissemination stays fire-and-forget: multicast consumers (the
+  // aggregation layer) re-publish periodically, so a lost copy costs one
+  // round of staleness, not correctness — and tree fan-out is the bulk of
+  // Fig.-15 traffic, where an ack per edge would double the bill.
   for (const NodeHandle& child : st->children) {
     auto msg = std::make_shared<DisseminateMsg>();
     msg->group = group;
@@ -305,7 +331,8 @@ void ScribeNode::process_walk(std::shared_ptr<WalkMsg> walk) {
         ok->inner = walk->inner;
         ok->acceptor = owner_->handle();
         ok->nodes_visited = walk->nodes_visited;
-        owner_->send_direct(walk->origin, std::move(ok), walk->inner_category);
+        owner_->send_reliable(walk->origin, std::move(ok),
+                              walk->inner_category);
         return;
       }
     }
@@ -324,7 +351,8 @@ void ScribeNode::process_walk(std::shared_ptr<WalkMsg> walk) {
     }
     next_walk->visited.push_back(top.id);
     next_walk->nodes_visited += 1;
-    owner_->send_direct(top, next_walk, next_walk->inner_category);
+    // Reliable: losing one DFS hop would kill the whole walk silently.
+    owner_->send_reliable(top, next_walk, next_walk->inner_category);
     return;
   }
   // Stack exhausted: no member accepted.
@@ -332,7 +360,7 @@ void ScribeNode::process_walk(std::shared_ptr<WalkMsg> walk) {
   fail->group = walk->group;
   fail->inner = walk->inner;
   fail->nodes_visited = walk->nodes_visited;
-  owner_->send_direct(walk->origin, std::move(fail), walk->inner_category);
+  owner_->send_reliable(walk->origin, std::move(fail), walk->inner_category);
 }
 
 void ScribeNode::receive_direct(pastry::PastryNode& self,
@@ -354,8 +382,8 @@ void ScribeNode::receive_direct(pastry::PastryNode& self,
     if (st == nullptr || !st->in_tree()) {
       auto nack = std::make_shared<HeartbeatNackMsg>();
       nack->group = hb->group;
-      owner_->send_direct(hb->child, std::move(nack),
-                          MsgCategory::kScribeControl);
+      owner_->send_reliable(hb->child, std::move(nack),
+                            MsgCategory::kScribeControl);
       return;
     }
     add_child(hb->group, hb->child);  // heals a silently dropped edge
@@ -408,8 +436,8 @@ void ScribeNode::detach_and_rejoin(const GroupId& group) {
     auto leave = std::make_shared<LeaveMsg>();
     leave->group = group;
     leave->child = owner_->handle();
-    owner_->send_direct(st.parent, std::move(leave),
-                        MsgCategory::kScribeControl);
+    owner_->send_reliable(st.parent, std::move(leave),
+                          MsgCategory::kScribeControl);
   }
   st.attached = false;
   st.parent = pastry::kNoHandle;
@@ -420,7 +448,8 @@ void ScribeNode::detach_and_rejoin(const GroupId& group) {
   for (const NodeHandle& child : children) {
     auto reset = std::make_shared<ParentResetMsg>();
     reset->group = group;
-    owner_->send_direct(child, std::move(reset), MsgCategory::kScribeControl);
+    owner_->send_reliable(child, std::move(reset),
+                          MsgCategory::kScribeControl);
   }
   if (!children.empty()) {
     for (ScribeApp* app : apps_) app->on_children_changed(*this, group);

@@ -72,6 +72,11 @@ struct GroupState {
   bool join_pending = false;  ///< a JOIN we sent is still routing
   pastry::NodeHandle parent;
   std::vector<pastry::NodeHandle> children;
+  // JOIN retransmission: a routed JOIN can be lost hop-by-hop under chaos,
+  // so maintenance() re-sends it with bounded exponential backoff until the
+  // node attaches.  Times are absolute simulator seconds.
+  double next_join_retry_s = 0.0;
+  double join_backoff_s = 1.0;
 
   bool in_tree() const { return member || root || attached || !children.empty(); }
   bool has_child(const pastry::NodeHandle& n) const;
@@ -109,10 +114,15 @@ class ScribeNode : public pastry::PastryApp {
                pastry::MsgCategory category = pastry::MsgCategory::kApp);
 
   /// One maintenance round: sends a heartbeat to the parent of every group
-  /// we are attached to.  A dead parent surfaces as a send failure, which
-  /// triggers rejoin (Scribe's "self-organizing and self-repairing" trees,
-  /// §III.E).  Benches call this periodically.
+  /// we are attached to, and re-sends any JOIN that has been pending past
+  /// its backoff deadline (routed JOINs are lost hop-by-hop under chaos).
+  /// A dead parent surfaces as a send failure, which triggers rejoin
+  /// (Scribe's "self-organizing and self-repairing" trees, §III.E).
+  /// Benches call this periodically.
   void maintenance();
+
+  static constexpr double kJoinBackoffBaseS = 1.0;
+  static constexpr double kJoinBackoffMaxS = 16.0;
 
   bool is_member(const GroupId& group) const;
   bool in_tree(const GroupId& group) const;
@@ -133,6 +143,8 @@ class ScribeNode : public pastry::PastryApp {
 
  private:
   GroupState& state(const GroupId& group);
+  /// (Re)sends our JOIN toward the group key and arms the retry backoff.
+  void send_join(const GroupId& group, GroupState& st);
   void add_child(const GroupId& group, const pastry::NodeHandle& child);
   void remove_child(const GroupId& group, const pastry::NodeHandle& child);
   void disseminate(const GroupId& group, const pastry::PayloadPtr& inner,

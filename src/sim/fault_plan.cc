@@ -1,0 +1,191 @@
+#include "sim/fault_plan.h"
+
+#include <sstream>
+
+namespace vb::sim {
+
+FaultPlan& FaultPlan::add_window(const FaultWindow& w) {
+  windows_.push_back(w);
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_partition(const PartitionWindow& p) {
+  partitions_.push_back(p);
+  return *this;
+}
+
+FaultPlan& FaultPlan::uniform_loss(double p, double start_s, double end_s) {
+  FaultWindow w;
+  w.start_s = start_s;
+  w.end_s = end_s;
+  w.drop_prob = p;
+  return add_window(w);
+}
+
+FaultPlan& FaultPlan::uniform_duplication(double p, double start_s,
+                                          double end_s) {
+  FaultWindow w;
+  w.start_s = start_s;
+  w.end_s = end_s;
+  w.dup_prob = p;
+  return add_window(w);
+}
+
+FaultPlan& FaultPlan::jitter(double max_s, double start_s, double end_s) {
+  FaultWindow w;
+  w.start_s = start_s;
+  w.end_s = end_s;
+  w.jitter_max_s = max_s;
+  return add_window(w);
+}
+
+FaultPlan& FaultPlan::delay_spike(double extra_s, double start_s,
+                                  double end_s) {
+  FaultWindow w;
+  w.start_s = start_s;
+  w.end_s = end_s;
+  w.delay_extra_s = extra_s;
+  return add_window(w);
+}
+
+FaultPlan& FaultPlan::link_loss(int src_host, int dst_host, double p,
+                                double start_s, double end_s) {
+  FaultWindow w;
+  w.start_s = start_s;
+  w.end_s = end_s;
+  w.src_host = src_host;
+  w.dst_host = dst_host;
+  w.drop_prob = p;
+  return add_window(w);
+}
+
+FaultPlan& FaultPlan::partition_rack(int rack, double start_s, double end_s) {
+  PartitionWindow p;
+  p.scope = PartitionWindow::Scope::kRack;
+  p.index = rack;
+  p.start_s = start_s;
+  p.end_s = end_s;
+  return add_partition(p);
+}
+
+FaultPlan& FaultPlan::partition_pod(int pod, double start_s, double end_s) {
+  PartitionWindow p;
+  p.scope = PartitionWindow::Scope::kPod;
+  p.index = pod;
+  p.start_s = start_s;
+  p.end_s = end_s;
+  return add_partition(p);
+}
+
+namespace {
+
+bool crosses_partition(const PartitionWindow& p, const FaultEndpoints& ep) {
+  bool src_in, dst_in;
+  if (p.scope == PartitionWindow::Scope::kRack) {
+    src_in = ep.src_rack == p.index;
+    dst_in = ep.dst_rack == p.index;
+  } else {
+    src_in = ep.src_pod == p.index;
+    dst_in = ep.dst_pod == p.index;
+  }
+  return src_in != dst_in;
+}
+
+}  // namespace
+
+FaultDecision FaultPlan::decide(double now_s, const FaultEndpoints& ep) {
+  FaultDecision d;
+  for (const PartitionWindow& p : partitions_) {
+    if (now_s >= p.start_s && now_s < p.end_s && crosses_partition(p, ep)) {
+      d.drop = true;
+    }
+  }
+  for (const FaultWindow& w : windows_) {
+    if (now_s < w.start_s || now_s >= w.end_s) continue;
+    if (w.src_host != -1 && w.src_host != ep.src_host) continue;
+    if (w.dst_host != -1 && w.dst_host != ep.dst_host) continue;
+    // Every probabilistic clause draws exactly when its window is active,
+    // in window order — the deterministic replay contract.
+    if (w.drop_prob > 0.0 && rng_.chance(w.drop_prob)) d.drop = true;
+    if (w.dup_prob > 0.0 && rng_.chance(w.dup_prob)) d.duplicate = true;
+    d.extra_delay_s += w.delay_extra_s;
+    if (w.jitter_max_s > 0.0) {
+      d.extra_delay_s += rng_.uniform(0.0, w.jitter_max_s);
+    }
+  }
+  if (d.drop) {
+    d.duplicate = false;  // loss kills both copies
+  } else if (d.duplicate) {
+    // The duplicate trails the primary by its own small jitter, so the two
+    // copies can reorder against other traffic independently.
+    d.dup_extra_delay_s = d.extra_delay_s + rng_.uniform(0.0, 0.05);
+  }
+  return d;
+}
+
+FaultPlan FaultPlan::fresh() const {
+  FaultPlan out(seed_);
+  out.windows_ = windows_;
+  out.partitions_ = partitions_;
+  return out;
+}
+
+bool FaultPlan::quiescent_after(double t) const {
+  for (const FaultWindow& w : windows_) {
+    if (w.end_s > t) return false;
+  }
+  for (const PartitionWindow& p : partitions_) {
+    if (p.end_s > t) return false;
+  }
+  return true;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed_;
+  for (const FaultWindow& w : windows_) {
+    os << " win[" << w.start_s << "," << w.end_s << ")";
+    if (w.src_host != -1 || w.dst_host != -1) {
+      os << " link " << w.src_host << "->" << w.dst_host;
+    }
+    if (w.drop_prob > 0.0) os << " drop=" << w.drop_prob;
+    if (w.dup_prob > 0.0) os << " dup=" << w.dup_prob;
+    if (w.jitter_max_s > 0.0) os << " jitter=" << w.jitter_max_s;
+    if (w.delay_extra_s > 0.0) os << " spike=" << w.delay_extra_s;
+  }
+  for (const PartitionWindow& p : partitions_) {
+    os << " part("
+       << (p.scope == PartitionWindow::Scope::kRack ? "rack " : "pod ")
+       << p.index << ")[" << p.start_s << "," << p.end_s << ")";
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::canned_loss(std::uint64_t seed) {
+  FaultPlan plan(seed);
+  plan.uniform_loss(0.02, 300.0, 2400.0)
+      .uniform_duplication(0.01, 300.0, 2400.0)
+      .jitter(0.02, 300.0, 2400.0);
+  return plan;
+}
+
+FaultPlan FaultPlan::canned_partition(std::uint64_t seed) {
+  FaultPlan plan(seed);
+  plan.uniform_loss(0.02, 300.0, 2400.0)
+      .uniform_duplication(0.01, 300.0, 2400.0)
+      .partition_rack(0, 600.0, 605.0);
+  return plan;
+}
+
+FaultPlan FaultPlan::canned_storm(std::uint64_t seed) {
+  FaultPlan plan(seed);
+  for (double burst : {400.0, 1000.0, 1600.0}) {
+    plan.uniform_loss(0.10, burst, burst + 60.0)
+        .uniform_duplication(0.05, burst, burst + 60.0)
+        .delay_spike(1.0, burst + 30.0, burst + 40.0)
+        .jitter(0.1, burst, burst + 60.0);
+  }
+  return plan;
+}
+
+}  // namespace vb::sim

@@ -21,6 +21,7 @@
 #include "common/hash.h"
 #include "hostmodel/host.h"
 #include "scribe/scribe_node.h"
+#include "sim/simulator.h"
 #include "vbundle/migration.h"
 #include "vbundle/placement.h"
 #include "vbundle/shuffler.h"
@@ -48,6 +49,16 @@ struct VBundleConfig {
   /// publish CPU capacity/demand trees, classify on the bottleneck metric,
   /// and receivers check both ceilings before accepting.
   bool balance_cpu = false;
+  /// Shedder-side patience for one load-balance query: if neither an
+  /// accept nor a tree-exhausted failure arrives in this window (both can
+  /// vanish under chaos even with retransmission), the shedder declares
+  /// the query dead and tries again with a fresh sequence number.
+  double query_timeout_s = 120.0;
+  /// Receiver-side lease on a hold taken for an accepted query.  Must
+  /// dominate query_timeout_s plus the migration transfer time so a lease
+  /// can never expire under a migration that is still going to consume it;
+  /// it only reclaims holds whose shedder went permanently silent.
+  double accept_hold_lease_s = 600.0;
   MigrationConfig migration;
 };
 
@@ -146,6 +157,11 @@ class VBundleAgent : public pastry::PastryApp,
   /// Called by the shedder's migration completion on the receiving agent.
   void on_migration_arrived(host::VmId vm);
 
+  /// Releases the hold we took when accepting the query for `vm` (stale
+  /// accept, shedder-side abort, or lease expiry).  No-op if nothing is
+  /// pending for `vm`.
+  void release_accepted(host::VmId vm);
+
  private:
   // placement.cc
   void handle_boot_query(const BootQueryMsg& q);
@@ -182,11 +198,26 @@ class VBundleAgent : public pastry::PastryApp,
   double pending_out_cpu_ = 0.0;
   double pending_in_cpu_ = 0.0;
 
-  /// Shedding loop state: one query in flight at a time.
+  /// Shedding loop state: one query in flight at a time.  query_seq_
+  /// stamps each query so late replies for a timed-out or superseded one
+  /// are recognized as stale.
   bool query_in_flight_ = false;
+  std::uint64_t query_seq_ = 0;
   int sheds_this_round_ = 0;
   /// VMs the Less-Loaded tree refused this round (reservation fits nowhere).
   std::set<host::VmId> unshedable_this_round_;
+
+  /// Receiver side: one entry per accepted query whose VM has not arrived
+  /// yet.  Records the exact amounts held at accept time (demand drifts
+  /// while the VM is in flight) and the lease timer that reclaims the hold
+  /// if the shedder goes permanently silent.
+  struct PendingAccept {
+    host::VmSpec spec;
+    double demand_mbps = 0.0;
+    double cpu_demand = 0.0;
+    sim::EventId lease = sim::kInvalidEventId;
+  };
+  std::map<host::VmId, PendingAccept> pending_accepts_;
 
   std::map<host::VmId, BootCallback> pending_boots_;
   ShuffleStats stats_;

@@ -192,8 +192,21 @@ void VBundleAgent::try_shed() {
   q->demand_mbps = v.capped_demand();
   q->cpu_demand = v.capped_cpu_demand();
   q->shedder = node_->handle();
+  q->query_seq = ++query_seq_;
   query_in_flight_ = true;
   ++stats_.queries_sent;
+  // Arm the reply timeout before launching the anycast: if neither accept
+  // nor failure makes it back (both can die under chaos even with
+  // retransmission), declare the query dead and move on.  The seq guard
+  // makes stale timers no-ops, so nothing needs cancelling.
+  std::uint64_t seq = query_seq_;
+  node_->network().simulator().schedule_in(
+      cfg_->query_timeout_s, [this, seq]() {
+        if (!query_in_flight_ || seq != query_seq_) return;
+        query_in_flight_ = false;
+        ++stats_.query_timeouts;
+        try_shed();
+      });
   scribe_->anycast(topics_.less_loaded, std::move(q), MsgCategory::kVBundle);
 }
 
@@ -242,9 +255,34 @@ bool VBundleAgent::on_anycast(scribe::ScribeNode& self,
     }
   }
   // Accept: hold the reservations while the VM is in flight.
+  if (auto it = pending_accepts_.find(q->vm); it != pending_accepts_.end()) {
+    // We already hold for this VM from an earlier accept whose reply never
+    // reached the shedder; re-accept reusing the hold (no double-charge)
+    // and re-arm the lease.
+    node_->network().simulator().cancel(it->second.lease);
+    it->second.lease = node_->network().simulator().schedule_in(
+        cfg_->accept_hold_lease_s, [this, vm = q->vm]() {
+          if (!pending_accepts_.contains(vm)) return;
+          ++stats_.lease_expiries;
+          release_accepted(vm);
+        });
+    ++stats_.queries_accepted;
+    return true;
+  }
   h.hold_all(q->spec);
   pending_in_demand_ += q->demand_mbps;
   pending_in_cpu_ += q->cpu_demand;
+  PendingAccept pending;
+  pending.spec = q->spec;
+  pending.demand_mbps = q->demand_mbps;
+  pending.cpu_demand = q->cpu_demand;
+  pending.lease = node_->network().simulator().schedule_in(
+      cfg_->accept_hold_lease_s, [this, vm = q->vm]() {
+        if (!pending_accepts_.contains(vm)) return;
+        ++stats_.lease_expiries;
+        release_accepted(vm);
+      });
+  pending_accepts_.emplace(q->vm, pending);
   ++stats_.queries_accepted;
   return true;
 }
@@ -259,19 +297,23 @@ void VBundleAgent::on_anycast_accepted(scribe::ScribeNode& self,
   if (group != topics_.less_loaded) return;
   auto q = std::dynamic_pointer_cast<const LoadBalanceQueryMsg>(inner);
   if (!q || q->shedder.id != node_->id()) return;
-  query_in_flight_ = false;
 
   host::Vm& v = fleet_->vm(q->vm);
-  if (v.host != node_->host() || v.migrating) {
-    // State changed while the query was in flight; release the receiver's
-    // hold by notifying its agent directly (hypervisor-level action).
+  bool stale = !query_in_flight_ || q->query_seq != query_seq_;
+  if (stale || v.host != node_->host() || v.migrating) {
+    // The query was timed out / superseded, or the VM's state changed while
+    // it was in flight.  Release the receiver's hold by notifying its agent
+    // directly (hypervisor-level action); release_accepted looks up the
+    // exact amounts held at accept time.
     VBundleAgent* dst = directory_->at(static_cast<std::size_t>(acceptor.host));
-    fleet_->host(acceptor.host).release_hold_all(q->spec);
-    dst->pending_in_demand_ -= q->demand_mbps;
-    dst->pending_in_cpu_ -= q->cpu_demand;
-    try_shed();
+    dst->release_accepted(q->vm);
+    if (!stale) {
+      query_in_flight_ = false;
+      try_shed();
+    }
     return;
   }
+  query_in_flight_ = false;
 
   double moved_demand = v.capped_demand();
   double moved_cpu = v.capped_cpu_demand();
@@ -301,6 +343,7 @@ void VBundleAgent::on_anycast_failed(scribe::ScribeNode& self,
   if (group != topics_.less_loaded) return;
   auto q = std::dynamic_pointer_cast<const LoadBalanceQueryMsg>(inner);
   if (!q || q->shedder.id != node_->id()) return;
+  if (!query_in_flight_ || q->query_seq != query_seq_) return;  // stale
   query_in_flight_ = false;
   ++stats_.anycast_failures;
   // Nobody could take this VM (e.g., its reservation fits nowhere).  Try
@@ -311,12 +354,34 @@ void VBundleAgent::on_anycast_failed(scribe::ScribeNode& self,
 }
 
 void VBundleAgent::on_migration_arrived(host::VmId vm) {
-  const host::Vm& v = fleet_->vm(vm);
-  pending_in_demand_ -= v.capped_demand();
-  pending_in_cpu_ -= v.capped_cpu_demand();
+  if (auto it = pending_accepts_.find(vm); it != pending_accepts_.end()) {
+    // Undo exactly what the accept charged (the VM's live demand may have
+    // drifted while in flight); the hold itself was consumed by migrate().
+    node_->network().simulator().cancel(it->second.lease);
+    pending_in_demand_ -= it->second.demand_mbps;
+    pending_in_cpu_ -= it->second.cpu_demand;
+    pending_accepts_.erase(it);
+  } else {
+    const host::Vm& v = fleet_->vm(vm);
+    pending_in_demand_ -= v.capped_demand();
+    pending_in_cpu_ -= v.capped_cpu_demand();
+  }
   if (pending_in_demand_ < 0) pending_in_demand_ = 0;
   if (pending_in_cpu_ < 0) pending_in_cpu_ = 0;
   ++stats_.migrations_in;
+  reevaluate_role();
+}
+
+void VBundleAgent::release_accepted(host::VmId vm) {
+  auto it = pending_accepts_.find(vm);
+  if (it == pending_accepts_.end()) return;
+  node_->network().simulator().cancel(it->second.lease);
+  fleet_->host(node_->host()).release_hold_all(it->second.spec);
+  pending_in_demand_ -= it->second.demand_mbps;
+  pending_in_cpu_ -= it->second.cpu_demand;
+  if (pending_in_demand_ < 0) pending_in_demand_ = 0;
+  if (pending_in_cpu_ < 0) pending_in_cpu_ = 0;
+  pending_accepts_.erase(it);
   reevaluate_role();
 }
 

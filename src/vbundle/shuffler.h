@@ -33,7 +33,11 @@ struct LoadBalanceQueryMsg : pastry::Payload {
   double demand_mbps = 0.0;        ///< VM's current offered bandwidth load
   double cpu_demand = 0.0;         ///< VM's current offered CPU load
   pastry::NodeHandle shedder;      ///< who to ack
-  std::size_t wire_bytes() const override { return 104; }
+  /// Shedder-local sequence number: replies for a query the shedder has
+  /// already timed out (or superseded) are detected as stale and the
+  /// receiver's hold is released instead of starting a migration.
+  std::uint64_t query_seq = 0;
+  std::size_t wire_bytes() const override { return 112; }
   std::string name() const override { return "vbundle.lb_query"; }
 };
 
@@ -43,6 +47,8 @@ struct ShuffleStats {
   std::uint64_t queries_accepted = 0;   // as receiver
   std::uint64_t queries_declined = 0;   // as receiver
   std::uint64_t anycast_failures = 0;   // as shedder: tree had no taker
+  std::uint64_t query_timeouts = 0;     // as shedder: reply never came
+  std::uint64_t lease_expiries = 0;     // as receiver: shedder went silent
   std::uint64_t migrations_out = 0;
   std::uint64_t migrations_in = 0;
 };
