@@ -20,9 +20,18 @@
 // Usage:
 //   perf_core [--sizes=1000,4000,16000] [--out=BENCH_core.json] [--smoke]
 //             [--churn-events=2000000] [--routes=20000] [--agg-rounds=5]
+//             [--trace=<path>] [--metrics=<path>]
 //
 // --smoke shrinks everything (<=100 servers, small counts) so CI can
-// exercise the harness on every ctest run (the bench_smoke test).
+// exercise the harness on every ctest run (the bench_smoke test); smoke
+// runs default to BENCH_core.smoke.json so they never clobber the
+// committed full-run numbers.  The JSON is written to a temp file and
+// renamed into place only after every bench succeeded — a crashed or
+// interrupted run leaves no half-written (or empty) BENCH_core.json.
+//
+// --trace / --metrics attach a TraceRecorder / MetricsRegistry to the
+// route-throughput and shuffle-epoch benches and export them at exit (the
+// obs overhead measurement described in docs/ARCHITECTURE.md).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -37,6 +46,8 @@
 #include "common/hash.h"
 #include "common/rng.h"
 #include "aggregation/aggregation_tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pastry/pastry_network.h"
 #include "scribe/scribe_network.h"
 #include "sim/event_queue.h"
@@ -215,10 +226,13 @@ struct NullPayload : pastry::Payload {
   std::string name() const override { return "perf.null"; }
 };
 
-RouteResult bench_route_throughput(int servers, std::uint64_t routes) {
+RouteResult bench_route_throughput(int servers, std::uint64_t routes,
+                                   obs::TraceRecorder* trace = nullptr,
+                                   obs::MetricsRegistry* metrics = nullptr) {
   sim::Simulator sim;
   net::Topology topo(topology_for(servers));
   pastry::PastryNetwork net(&sim, &topo);
+  net.set_trace(trace);
   Rng rng(99);
   std::vector<U128> ids = random_unique_ids(servers, rng);
 
@@ -241,6 +255,7 @@ RouteResult bench_route_throughput(int servers, std::uint64_t routes) {
     sim.run_to_completion();
   });
   r.sim_events = sim.events_executed() - events_before;
+  if (metrics != nullptr) net.export_metrics(*metrics);
   return r;
 }
 
@@ -301,7 +316,9 @@ struct EpochResult {
   std::uint64_t migrations = 0;
 };
 
-EpochResult bench_shuffle_epoch(int servers, std::uint64_t seed) {
+EpochResult bench_shuffle_epoch(int servers, std::uint64_t seed,
+                                obs::TraceRecorder* trace = nullptr,
+                                obs::MetricsRegistry* metrics = nullptr) {
   core::CloudConfig cfg;
   cfg.topology = topology_for(servers);
   cfg.seed = seed;
@@ -324,6 +341,7 @@ EpochResult bench_shuffle_epoch(int servers, std::uint64_t seed) {
     r.vms = static_cast<std::uint64_t>(vms);
   });
 
+  cloud->set_trace_recorder(trace);
   std::uint64_t events_before = cloud->simulator().events_executed();
   r.seconds = wall_seconds([&] {
     cloud->start_rebalancing(0.0, 1500.0);
@@ -332,6 +350,7 @@ EpochResult bench_shuffle_epoch(int servers, std::uint64_t seed) {
   });
   r.sim_events = cloud->simulator().events_executed() - events_before;
   r.migrations = cloud->migrations().completed();
+  if (metrics != nullptr) cloud->collect_metrics(*metrics);
   return r;
 }
 
@@ -358,7 +377,18 @@ int main(int argc, char** argv) {
   std::uint64_t routes =
       static_cast<std::uint64_t>(flags.get_int("routes", smoke ? 500 : 20000));
   int agg_rounds = flags.get_int("agg-rounds", smoke ? 2 : 5);
-  std::string out_path = flags.get_string("out", "BENCH_core.json");
+  // Smoke runs get their own default output so CI never overwrites the
+  // committed full-run BENCH_core.json with tiny numbers.
+  std::string out_path = flags.get_string(
+      "out", smoke ? "BENCH_core.smoke.json" : "BENCH_core.json");
+  std::string trace_path = flags.get_string("trace", "");
+  std::string metrics_path = flags.get_string("metrics", "");
+
+  obs::TraceRecorder trace_rec;
+  obs::MetricsRegistry metrics_reg;
+  obs::TraceRecorder* trace = trace_path.empty() ? nullptr : &trace_rec;
+  obs::MetricsRegistry* metrics =
+      metrics_path.empty() ? nullptr : &metrics_reg;
 
   std::string json = "{\n";
   json += "  \"bench\": \"perf_core\",\n";
@@ -394,7 +424,7 @@ int main(int argc, char** argv) {
          ", \"legacy_events_per_sec\": " + num(leps) +
          ", \"speedup_vs_legacy\": " + num(eps / leps) + "}");
 
-    RouteResult rt = bench_route_throughput(n, routes);
+    RouteResult rt = bench_route_throughput(n, routes, trace, metrics);
     double rps = static_cast<double>(rt.routes) / rt.seconds;
     std::printf("route_throughput   %10.0f routes/s  (bootstrap %.2fs)\n", rps,
                 rt.bootstrap_seconds);
@@ -419,7 +449,7 @@ int main(int argc, char** argv) {
          ", \"sim_events\": " + std::to_string(ag.sim_events) +
          ", \"tree_height\": " + std::to_string(ag.tree_height) + "}");
 
-    EpochResult ep = bench_shuffle_epoch(n, 42);
+    EpochResult ep = bench_shuffle_epoch(n, 42, trace, metrics);
     std::printf("shuffle_epoch      %10.2fs wall (%llu migrations)\n",
                 ep.seconds, static_cast<unsigned long long>(ep.migrations));
     emit("{\"name\": \"shuffle_epoch\", \"servers\": " + std::to_string(n) +
@@ -433,13 +463,37 @@ int main(int argc, char** argv) {
   }
 
   json += "\n  ]\n}\n";
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  // Write-to-temp + rename: the result file only ever appears complete.  An
+  // interrupted run leaves the previous BENCH_core.json untouched.
+  std::string tmp_path = out_path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "perf_core: cannot open %s\n", out_path.c_str());
+    std::fprintf(stderr, "perf_core: cannot open %s\n", tmp_path.c_str());
     return 1;
   }
-  std::fputs(json.c_str(), f);
-  std::fclose(f);
+  if (std::fputs(json.c_str(), f) < 0 || std::fclose(f) != 0) {
+    std::fprintf(stderr, "perf_core: write to %s failed\n", tmp_path.c_str());
+    std::remove(tmp_path.c_str());
+    return 1;
+  }
+  if (std::rename(tmp_path.c_str(), out_path.c_str()) != 0) {
+    std::fprintf(stderr, "perf_core: rename %s -> %s failed\n",
+                 tmp_path.c_str(), out_path.c_str());
+    std::remove(tmp_path.c_str());
+    return 1;
+  }
   std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (trace != nullptr) {
+    trace->write(trace_path);
+    std::printf("wrote %s (%zu trace events, %llu dropped)\n",
+                trace_path.c_str(), trace->size(),
+                static_cast<unsigned long long>(trace->dropped()));
+  }
+  if (metrics != nullptr) {
+    metrics->write(metrics_path);
+    std::printf("wrote %s (%zu series)\n", metrics_path.c_str(),
+                metrics->series_count());
+  }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "pastry/pastry_network.h"
 
 namespace vb::agg {
@@ -56,6 +57,11 @@ void AggregationAgent::set_local(const TopicId& topic, const AggValue& v) {
   auto [it, inserted] = pending_since_.emplace(topic, now);
   (void)it;
   (void)inserted;  // keep the oldest pending timestamp if one exists
+  if (obs::TraceRecorder* tr = scribe_->owner().network().trace()) {
+    // Mint the cascade id at the leaf; a pending id (older contribution not
+    // yet sent) wins, matching the oldest-timestamp bookkeeping above.
+    pending_trace_.emplace(topic, tr->new_trace_id());
+  }
   if (mode_ == PropagationMode::kEager) propagate(topic);
 }
 
@@ -71,31 +77,49 @@ void AggregationAgent::propagate(const TopicId& topic) {
     oldest = it->second;
     pending_since_.erase(it);
   }
+  std::uint64_t trace = 0;
+  if (auto it = pending_trace_.find(topic); it != pending_trace_.end()) {
+    trace = it->second;
+    pending_trace_.erase(it);
+  }
 
   if (st != nullptr && st->root) {
     AggValue global = mgr.reduce();
-    publish_down(topic, global);
+    publish_down(topic, global, trace);
     return;
   }
   if (st == nullptr || !st->attached || !st->parent.valid()) {
     // Detached (e.g., parent failed, rejoin in flight): re-arm the pending
     // marker so the update is not lost.
     pending_since_.emplace(topic, oldest);
+    if (trace != 0) pending_trace_.emplace(topic, trace);
     return;
   }
   auto msg = std::make_shared<AggUpdateMsg>();
   msg->topic = topic;
   msg->value = mgr.reduce();
   msg->oldest_leaf_time = oldest;
+  msg->trace = trace;
+  if (obs::TraceRecorder* tr = scribe_->owner().network().trace()) {
+    tr->instant(now, trace, static_cast<int>(scribe_->owner().handle().host),
+                "agg.update", "agg", "parent_host",
+                static_cast<double>(st->parent.host));
+  }
   scribe_->owner().send_direct(st->parent, std::move(msg),
                                MsgCategory::kAggregation);
 }
 
 void AggregationAgent::publish_down(const TopicId& topic,
-                                    const AggValue& global) {
+                                    const AggValue& global,
+                                    std::uint64_t trace) {
   TopicManager& mgr = manager(topic);
   sim::SimTime now = scribe_->owner().network().simulator().now();
   mgr.set_global(global, now);
+  obs::TraceRecorder* tr = scribe_->owner().network().trace();
+  if (tr != nullptr) {
+    tr->instant(now, trace, static_cast<int>(scribe_->owner().handle().host),
+                "agg.global", "agg", "value", global.sum);
+  }
   for (AggregationListener* l : listeners_) l->on_global(topic, global, now);
 
   const scribe::GroupState* st = scribe_->find_group(topic);
@@ -104,6 +128,12 @@ void AggregationAgent::publish_down(const TopicId& topic,
     auto msg = std::make_shared<AggPublishMsg>();
     msg->topic = topic;
     msg->global = global;
+    msg->trace = trace;
+    if (tr != nullptr) {
+      tr->instant(now, trace, static_cast<int>(scribe_->owner().handle().host),
+                  "agg.publish", "agg", "child_host",
+                  static_cast<double>(child.host));
+    }
     scribe_->owner().send_direct(child, std::move(msg),
                                  MsgCategory::kAggregation);
   }
@@ -126,6 +156,7 @@ void AggregationAgent::receive_direct(pastry::PastryNode& self,
     mgr.set_child(from.id, up->value);
     auto [it, inserted] = pending_since_.emplace(up->topic, up->oldest_leaf_time);
     if (!inserted) it->second = std::min(it->second, up->oldest_leaf_time);
+    if (up->trace != 0) pending_trace_.emplace(up->topic, up->trace);
     if (mode_ == PropagationMode::kEager) propagate(up->topic);
     return;
   }
@@ -133,6 +164,11 @@ void AggregationAgent::receive_direct(pastry::PastryNode& self,
     TopicManager& mgr = manager(pub->topic);
     sim::SimTime now = scribe_->owner().network().simulator().now();
     mgr.set_global(pub->global, now);
+    if (obs::TraceRecorder* tr = scribe_->owner().network().trace()) {
+      tr->instant(now, pub->trace,
+                  static_cast<int>(scribe_->owner().handle().host),
+                  "agg.global", "agg", "value", pub->global.sum);
+    }
     for (AggregationListener* l : listeners_) {
       l->on_global(pub->topic, pub->global, now);
     }

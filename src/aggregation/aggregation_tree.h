@@ -40,16 +40,20 @@ struct AggUpdateMsg : pastry::Payload {
   /// Earliest unpublished leaf-update timestamp folded into `value`;
   /// lets the root compute leaf-to-root aggregation latency (Fig. 14).
   sim::SimTime oldest_leaf_time = 0.0;
+  std::uint64_t trace = 0;  ///< cascade span id, minted at the leaf
   std::size_t wire_bytes() const override { return 64; }
   std::string name() const override { return "agg.update"; }
+  std::uint64_t trace_id() const override { return trace; }
 };
 
 /// Payload: root -> members global publish, relayed along tree edges.
 struct AggPublishMsg : pastry::Payload {
   TopicId topic;
   AggValue global;
+  std::uint64_t trace = 0;  ///< cascade span id, minted at the leaf
   std::size_t wire_bytes() const override { return 56; }
   std::string name() const override { return "agg.publish"; }
+  std::uint64_t trace_id() const override { return trace; }
 };
 
 /// Per-server aggregation agent.  Registers as BOTH a Pastry app (to receive
@@ -103,7 +107,8 @@ class AggregationAgent : public pastry::PastryApp, public scribe::ScribeApp {
   TopicManager& manager(const TopicId& topic);
   /// Sends our subtree reduction up the tree; at the root, publishes down.
   void propagate(const TopicId& topic);
-  void publish_down(const TopicId& topic, const AggValue& global);
+  void publish_down(const TopicId& topic, const AggValue& global,
+                    std::uint64_t trace = 0);
 
   scribe::ScribeNode* scribe_;
   PropagationMode mode_;
@@ -111,6 +116,10 @@ class AggregationAgent : public pastry::PastryApp, public scribe::ScribeApp {
   /// Oldest pending (unsent) local-update time per topic, for latency
   /// bookkeeping.
   std::map<TopicId, sim::SimTime> pending_since_;
+  /// Trace id of the oldest pending contribution per topic (leaf-minted or
+  /// adopted from a child); carried up with the next propagate().  Only
+  /// populated while a TraceRecorder is attached.
+  std::map<TopicId, std::uint64_t> pending_trace_;
   std::vector<AggregationListener*> listeners_;
 };
 

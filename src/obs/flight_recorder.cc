@@ -1,0 +1,95 @@
+#include "obs/flight_recorder.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vb::obs {
+
+std::string FlightDump::message() const {
+  if (!ok) return "flight recorder dump FAILED: " + error;
+  return "flight recorder dump: " + manifest_path + " (trace: " +
+         trace_jsonl_path + ", metrics: " + metrics_csv_path + ")";
+}
+
+FlightDump dump_flight(const std::string& dir, const std::string& tag,
+                       const TraceRecorder* trace,
+                       const MetricsRegistry* metrics,
+                       const std::string& repro_text,
+                       const std::string& repro_json,
+                       const std::string& reason) {
+  FlightDump out;
+  out.dir = dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    out.error = "cannot create " + dir + ": " + ec.message();
+    return out;
+  }
+  std::string base = dir + "/" + tag;
+  out.manifest_path = base + ".manifest.json";
+  out.trace_chrome_path = base + ".trace.json";
+  out.trace_jsonl_path = base + ".trace.jsonl";
+  out.metrics_csv_path = base + ".metrics.csv";
+  out.metrics_json_path = base + ".metrics.json";
+
+  if (trace != nullptr) {
+    if (!trace->write_chrome_json(out.trace_chrome_path)) {
+      out.error = "cannot write " + out.trace_chrome_path;
+      return out;
+    }
+    if (!trace->write_jsonl(out.trace_jsonl_path)) {
+      out.error = "cannot write " + out.trace_jsonl_path;
+      return out;
+    }
+  }
+  if (metrics != nullptr) {
+    if (!metrics->write_csv(out.metrics_csv_path)) {
+      out.error = "cannot write " + out.metrics_csv_path;
+      return out;
+    }
+    if (!metrics->write_json(out.metrics_json_path)) {
+      out.error = "cannot write " + out.metrics_json_path;
+      return out;
+    }
+  }
+
+  std::ofstream mf(out.manifest_path);
+  if (!mf) {
+    out.error = "cannot write " + out.manifest_path;
+    return out;
+  }
+  mf << "{\n";
+  mf << "  \"tag\": \"" << json_escape(tag) << "\",\n";
+  mf << "  \"reason\": \"" << json_escape(reason) << "\",\n";
+  mf << "  \"repro\": \"" << json_escape(repro_text) << "\",\n";
+  mf << "  \"fault_plan\": " << (repro_json.empty() ? "null" : repro_json)
+     << ",\n";
+  if (trace != nullptr) {
+    mf << "  \"trace\": {\"events\": " << trace->size()
+       << ", \"dropped\": " << trace->dropped() << ", \"chrome\": \""
+       << json_escape(out.trace_chrome_path) << "\", \"jsonl\": \""
+       << json_escape(out.trace_jsonl_path) << "\"},\n";
+  } else {
+    mf << "  \"trace\": null,\n";
+  }
+  if (metrics != nullptr) {
+    mf << "  \"metrics\": {\"series\": " << metrics->series_count()
+       << ", \"csv\": \"" << json_escape(out.metrics_csv_path)
+       << "\", \"json\": \"" << json_escape(out.metrics_json_path) << "\"}\n";
+  } else {
+    mf << "  \"metrics\": null\n";
+  }
+  mf << "}\n";
+  if (!mf) {
+    out.error = "write error on " + out.manifest_path;
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace vb::obs

@@ -1,0 +1,47 @@
+// Flight recorder: turns an in-memory trace + metrics snapshot into a
+// post-mortem dump on disk when something goes wrong.
+//
+// Tests that detect an invariant violation (or the chaos-fuzz shrinker's
+// minimal repro) call dump_flight(); the returned paths are embedded in the
+// gtest failure message so the dump is one click away from the CI log.  A
+// dump is a directory entry of five files sharing a tag:
+//
+//   <tag>.manifest.json   reason, repro script, pointers to the other files
+//   <tag>.trace.json      Chrome trace_event export (chrome://tracing)
+//   <tag>.trace.jsonl     the same events, one JSON object per line
+//   <tag>.metrics.csv     metrics snapshot, one series per row
+//   <tag>.metrics.json    the same snapshot as JSON
+#pragma once
+
+#include <string>
+
+namespace vb::obs {
+
+class TraceRecorder;
+class MetricsRegistry;
+
+struct FlightDump {
+  bool ok = false;
+  std::string error;        ///< why the dump failed (when !ok)
+  std::string dir;
+  std::string manifest_path;
+  std::string trace_chrome_path;
+  std::string trace_jsonl_path;
+  std::string metrics_csv_path;
+  std::string metrics_json_path;
+  /// One-line summary for a test failure message: where the dump landed.
+  std::string message() const;
+};
+
+/// Writes a flight-recorder dump under `dir` (created if missing).
+/// `trace` and `metrics` may each be null (that part is skipped).
+/// `repro_text` / `repro_json` carry the FaultPlan describe() script and
+/// its to_json() record; `reason` says what tripped.
+FlightDump dump_flight(const std::string& dir, const std::string& tag,
+                       const TraceRecorder* trace,
+                       const MetricsRegistry* metrics,
+                       const std::string& repro_text,
+                       const std::string& repro_json,
+                       const std::string& reason);
+
+}  // namespace vb::obs

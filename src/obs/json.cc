@@ -1,0 +1,286 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace vb::obs {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  const char* begin;
+  std::string* error;
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& what) {
+    if (error != nullptr && error->empty()) {
+      *error = what + " at byte " + std::to_string(p - begin);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = std::strlen(word);
+    if (static_cast<std::size_t>(end - p) < n || std::strncmp(p, word, n) != 0) {
+      return fail(std::string("expected '") + word + "'");
+    }
+    p += n;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    out.clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (p >= end) return fail("truncated escape");
+      char esc = *p++;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (end - p < 4) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // none of this repo's exports emit them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (++depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    bool ok = false;
+    switch (*p) {
+      case '{': ok = parse_object(out); break;
+      case '[': ok = parse_array(out); break;
+      case '"':
+        out.type = JsonValue::Type::kString;
+        ok = parse_string(out.str);
+        break;
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        ok = literal("true");
+        break;
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        ok = literal("false");
+        break;
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        ok = literal("null");
+        break;
+      default: ok = parse_number(out); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool parse_number(JsonValue& out) {
+    char* num_end = nullptr;
+    double v = std::strtod(p, &num_end);
+    if (num_end == p) return fail("expected value");
+    out.type = JsonValue::Type::kNumber;
+    out.number = v;
+    p = num_end;
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++p;  // '['
+    skip_ws();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      JsonValue elem;
+      if (!parse_value(elem)) return false;
+      out.array.push_back(std::move(elem));
+      skip_ws();
+      if (p >= end) return fail("unterminated array");
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == ']') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++p;  // '{'
+    skip_ws();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (p >= end || *p != ':') return fail("expected ':'");
+      ++p;
+      JsonValue val;
+      if (!parse_value(val)) return false;
+      out.object.emplace(std::move(key), std::move(val));
+      skip_ws();
+      if (p >= end) return fail("unterminated object");
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == '}') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    std::string* error) {
+  if (error != nullptr) error->clear();
+  Parser parser{text.data(), text.data() + text.size(), text.data(), error};
+  JsonValue root;
+  if (!parser.parse_value(root)) return std::nullopt;
+  parser.skip_ws();
+  if (parser.p != parser.end) {
+    parser.fail("trailing garbage");
+    return std::nullopt;
+  }
+  return root;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool validate_chrome_trace(const std::string& text, std::string* error) {
+  std::string parse_err;
+  auto root = parse_json(text, &parse_err);
+  auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!root) return fail("not valid JSON: " + parse_err);
+  if (!root->is_object()) return fail("root is not an object");
+  const JsonValue* events = root->find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail("missing traceEvents array");
+  }
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    auto at = [&](const std::string& why) {
+      return fail("traceEvents[" + std::to_string(i) + "]: " + why);
+    };
+    if (!e.is_object()) return at("not an object");
+    const JsonValue* name = e.find("name");
+    if (name == nullptr || !name->is_string()) return at("missing name");
+    const JsonValue* cat = e.find("cat");
+    if (cat == nullptr || !cat->is_string()) return at("missing cat");
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->str.size() != 1) {
+      return at("missing one-char ph");
+    }
+    for (const char* key : {"ts", "pid", "tid"}) {
+      const JsonValue* v = e.find(key);
+      if (v == nullptr || !v->is_number()) {
+        return at(std::string("missing numeric ") + key);
+      }
+    }
+    char phase = ph->str[0];
+    if (phase == 'b' || phase == 'e' || phase == 'n') {
+      const JsonValue* id = e.find("id");
+      if (id == nullptr || (!id->is_string() && !id->is_number())) {
+        return at("async event without id");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace vb::obs

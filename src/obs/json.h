@@ -1,0 +1,53 @@
+// Minimal JSON DOM parser and Chrome-trace schema validator.
+//
+// Just enough JSON (RFC 8259 minus \u surrogate pairs) to let tests and the
+// trace_smoke tool validate this repo's own exports without an external
+// dependency.  Not a general-purpose library: numbers parse via strtod,
+// depth is bounded, and errors carry a byte offset for diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vb::obs {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).  On failure returns nullopt and, if `error` is
+/// non-null, a message with the byte offset.
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    std::string* error = nullptr);
+
+/// Escapes a string for embedding in JSON output (quotes not included).
+std::string json_escape(const std::string& s);
+
+/// Validates a Chrome trace_event export (object format): the root must be
+/// an object with a "traceEvents" array whose every element has string
+/// "name"/"cat", a one-char "ph", numeric "ts"/"pid"/"tid", and — for async
+/// phases b/e/n — an "id".  On failure returns false with a message.
+bool validate_chrome_trace(const std::string& text,
+                           std::string* error = nullptr);
+
+}  // namespace vb::obs

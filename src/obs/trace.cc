@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace vb::obs {
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRecorder::record(double ts_s, Phase phase, std::uint64_t trace_id,
+                           int node, const char* name, const char* cat,
+                           const char* arg0_name, double arg0,
+                           const char* arg1_name, double arg1) {
+  TraceEvent e;
+  e.ts_s = ts_s;
+  e.phase = phase;
+  e.trace_id = trace_id;
+  e.node = node;
+  e.name = name;
+  e.cat = cat;
+  e.arg0_name = arg0_name;
+  e.arg0 = arg0;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  ++total_;
+  if (size_ < capacity_) {
+    ring_.push_back(e);
+    ++size_;
+    return;
+  }
+  ring_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+}
+
+void TraceRecorder::clear() {
+  ring_.clear();
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  if (size_ < capacity_) return ring_;  // insertion order, no wrap yet
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  }
+  return out;
+}
+
+namespace {
+
+std::string fmt_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+void append_args(std::ostream& os, const TraceEvent& e) {
+  os << "\"args\":{";
+  bool first = true;
+  if (e.arg0_name != nullptr) {
+    os << '"' << json_escape(e.arg0_name) << "\":" << fmt_num(e.arg0);
+    first = false;
+  }
+  if (e.arg1_name != nullptr) {
+    if (!first) os << ',';
+    os << '"' << json_escape(e.arg1_name) << "\":" << fmt_num(e.arg1);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void TraceRecorder::export_chrome_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.cat) << "\",";
+    // Spans are Chrome *async* events (ph b/e, matched by id): a chain's
+    // begin and end fire on different hosts, which synchronous B/E pairs
+    // cannot express.  Instants with a trace id become async instants (n)
+    // on the same track; id-less instants are plain thread instants (i).
+    char ph = 'i';
+    if (e.phase == Phase::kBegin) {
+      ph = 'b';
+    } else if (e.phase == Phase::kEnd) {
+      ph = 'e';
+    } else if (e.trace_id != 0) {
+      ph = 'n';
+    }
+    os << "\"ph\":\"" << ph << "\",";
+    if (ph != 'i') {
+      os << "\"id\":\"0x" << std::hex << e.trace_id << std::dec << "\",";
+    } else {
+      os << "\"s\":\"t\",";
+    }
+    os << "\"ts\":" << fmt_num(e.ts_s * 1e6) << ",\"pid\":0,\"tid\":" << e.node
+       << ",";
+    append_args(os, e);
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+std::string TraceRecorder::chrome_json() const {
+  std::ostringstream os;
+  export_chrome_json(os);
+  return os.str();
+}
+
+void TraceRecorder::export_jsonl(std::ostream& os) const {
+  for (const TraceEvent& e : snapshot()) {
+    os << "{\"ts_s\":" << fmt_num(e.ts_s) << ",\"ph\":\""
+       << static_cast<char>(e.phase) << "\",\"trace_id\":" << e.trace_id
+       << ",\"node\":" << e.node << ",\"name\":\"" << json_escape(e.name)
+       << "\",\"cat\":\"" << json_escape(e.cat) << "\",";
+    append_args(os, e);
+    os << "}\n";
+  }
+}
+
+bool TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  export_chrome_json(f);
+  return static_cast<bool>(f);
+}
+
+bool TraceRecorder::write_jsonl(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  export_jsonl(f);
+  return static_cast<bool>(f);
+}
+
+bool TraceRecorder::write(const std::string& path) const {
+  if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+    return write_jsonl(path);
+  }
+  return write_chrome_json(path);
+}
+
+}  // namespace vb::obs

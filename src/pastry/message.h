@@ -9,6 +9,7 @@
 // deriving from Payload; the overlay never inspects payload contents.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -50,6 +51,10 @@ struct Payload {
   virtual std::size_t wire_bytes() const { return 64; }
   /// Debug name of the payload type.
   virtual std::string name() const { return "payload"; }
+  /// Causal trace id for the obs::TraceRecorder, 0 = untraced.  Payloads
+  /// that start or continue a traced chain override this.  Trace ids are
+  /// observability metadata: they never count toward wire_bytes().
+  virtual std::uint64_t trace_id() const { return 0; }
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;
@@ -61,6 +66,7 @@ struct RouteMsg {
   NodeHandle source;        ///< originating node
   MsgCategory category = MsgCategory::kApp;
   int hops = 0;             ///< hops taken so far
+  std::uint64_t trace_id = 0;  ///< span covering every hop of this route
 };
 
 }  // namespace vb::pastry

@@ -77,10 +77,14 @@ struct ReliableEnvelope : Payload {
   std::uint64_t seq = 0;        ///< per-sender sequence number
   NodeHandle sender;            ///< dedup key (envelopes may be forwarded
                                 ///  through transport duplicates)
+  std::uint64_t trace = 0;      ///< span shared by every copy (retransmits)
   std::size_t wire_bytes() const override {
     return 16 + (inner ? inner->wire_bytes() : 0);
   }
   std::string name() const override { return "pastry.rel"; }
+  std::uint64_t trace_id() const override {
+    return trace != 0 ? trace : (inner ? inner->trace_id() : 0);
+  }
 };
 
 /// Direct: acknowledges one ReliableEnvelope sequence number.

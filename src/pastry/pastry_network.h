@@ -17,6 +17,11 @@
 #include "sim/fault_plan.h"
 #include "sim/simulator.h"
 
+namespace vb::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace vb::obs
+
 namespace vb::pastry {
 
 /// Per-node traffic counters, split by message category.
@@ -96,6 +101,19 @@ class PastryNetwork {
   std::uint64_t total_fault_dups() const;
 
   // --- instrumentation ---------------------------------------------------
+  /// Attaches a trace recorder; nullptr (the default) detaches.  Recording
+  /// is passive — it never schedules events or draws randomness — so sim
+  /// outcomes are bit-identical with tracing on or off, and the hot paths
+  /// pay a single null-pointer test when tracing is disabled.
+  void set_trace(obs::TraceRecorder* t) { trace_ = t; }
+  obs::TraceRecorder* trace() const { return trace_; }
+
+  /// Pushes transport roll-ups into `reg` as `pastry.*` / `fault.*` series:
+  /// per-category message/byte counters, totals, fault drop/dup counts, and
+  /// a per-node total-messages distribution.  Idempotent: counters are
+  /// overwritten and distributions rebuilt on every call.
+  void export_metrics(obs::MetricsRegistry& reg) const;
+
   const TrafficCounters& counters(const U128& id) const;
   /// Snapshot of total messages sent per live node (Fig. 15 input).
   std::vector<std::uint64_t> per_node_msgs() const;
@@ -133,6 +151,7 @@ class PastryNetwork {
   const net::Topology* topo_;
   std::map<U128, Entry> nodes_;  // ordered: gives ring order for oracle ops
   sim::FaultPlan* fault_plan_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
   int last_delivery_hops_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 
+#include "obs/trace.h"
 #include "pastry/pastry_internal.h"
 #include "pastry/pastry_network.h"
 
@@ -30,6 +31,14 @@ void PastryNode::route(const U128& key, PayloadPtr payload,
   msg.source = handle_;
   msg.category = category;
   msg.hops = 0;
+  if (obs::TraceRecorder* tr = network_->trace()) {
+    // Adopt the payload's chain id if it has one (e.g. a traced anycast
+    // being routed), else mint a fresh id for this route.
+    std::uint64_t payload_trace = msg.payload ? msg.payload->trace_id() : 0;
+    msg.trace_id = payload_trace != 0 ? payload_trace : tr->new_trace_id();
+    tr->begin(network_->simulator().now(), msg.trace_id,
+              static_cast<int>(handle_.host), "pastry.route", "pastry");
+  }
   handle_route_msg(std::move(msg));
 }
 
@@ -45,6 +54,16 @@ void PastryNode::send_reliable(const NodeHandle& dest, PayloadPtr payload,
   env->inner_category = category;
   env->seq = next_reliable_seq_++;
   env->sender = handle_;
+  if (obs::TraceRecorder* tr = network_->trace()) {
+    // One span covers every copy of this envelope: the original send, all
+    // retransmissions, and the eventual ack.  Inherit the inner payload's
+    // chain id when it has one so the reliable hop nests in its chain.
+    std::uint64_t inner_trace = env->inner ? env->inner->trace_id() : 0;
+    env->trace = inner_trace != 0 ? inner_trace : tr->new_trace_id();
+    tr->instant(network_->simulator().now(), env->trace,
+                static_cast<int>(handle_.host), "rel.send", "reliable", "seq",
+                static_cast<double>(env->seq));
+  }
 
   PendingReliable pending;
   pending.dest = dest;
@@ -72,6 +91,12 @@ void PastryNode::retransmit_reliable(std::uint64_t seq) {
   p.rto_s = std::min(p.rto_s * 2.0, kReliableMaxRtoS);
   p.timer = network_->simulator().schedule_in(
       p.rto_s, [this, seq]() { retransmit_reliable(seq); });
+  if (obs::TraceRecorder* tr = network_->trace()) {
+    tr->instant(network_->simulator().now(), p.envelope->trace_id(),
+                static_cast<int>(handle_.host), "rel.retransmit", "reliable",
+                "seq", static_cast<double>(seq), "attempt",
+                static_cast<double>(p.attempts));
+  }
   network_->send_direct(handle_, p.dest, p.envelope, MsgCategory::kRetransmit);
 }
 
@@ -225,6 +250,11 @@ void PastryNode::handle_route_msg(RouteMsg msg) {
       return;
     }
     network_->note_delivery_hops(msg.hops);
+    if (obs::TraceRecorder* tr = network_->trace()) {
+      tr->end(network_->simulator().now(), msg.trace_id,
+              static_cast<int>(handle_.host), "pastry.route", "pastry", "hops",
+              static_cast<double>(msg.hops));
+    }
     for (PastryApp* app : apps_) app->deliver(*this, msg);
     return;
   }
@@ -233,6 +263,12 @@ void PastryNode::handle_route_msg(RouteMsg msg) {
     for (PastryApp* app : apps_) {
       if (!app->forward(*this, msg, next)) return;  // absorbed by the app
     }
+  }
+  if (obs::TraceRecorder* tr = network_->trace()) {
+    tr->instant(network_->simulator().now(), msg.trace_id,
+                static_cast<int>(handle_.host), "pastry.hop", "pastry", "hop",
+                static_cast<double>(msg.hops), "next_host",
+                static_cast<double>(next.host));
   }
   msg.hops += 1;
   network_->send_route(handle_, next, std::move(msg));
@@ -261,6 +297,13 @@ void PastryNode::handle_direct_msg(const NodeHandle& from,
   if (auto ack = std::dynamic_pointer_cast<const internal::AckMsg>(payload)) {
     auto it = pending_reliable_.find(ack->seq);
     if (it != pending_reliable_.end()) {
+      if (obs::TraceRecorder* tr = network_->trace()) {
+        tr->instant(network_->simulator().now(),
+                    it->second.envelope->trace_id(),
+                    static_cast<int>(handle_.host), "rel.acked", "reliable",
+                    "seq", static_cast<double>(ack->seq), "attempts",
+                    static_cast<double>(it->second.attempts));
+      }
       network_->simulator().cancel(it->second.timer);
       pending_reliable_.erase(it);
     }

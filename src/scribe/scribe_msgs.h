@@ -92,10 +92,12 @@ struct AnycastMsg : pastry::Payload {
   pastry::PayloadPtr inner;
   pastry::NodeHandle origin;
   pastry::MsgCategory inner_category = pastry::MsgCategory::kApp;
+  std::uint64_t trace = 0;  ///< anycast span id (observability metadata)
   std::size_t wire_bytes() const override {
     return 48 + (inner ? inner->wire_bytes() : 0);
   }
   std::string name() const override { return "scribe.anycast"; }
+  std::uint64_t trace_id() const override { return trace; }
 };
 
 /// Traveling DFS token for anycast: carries the to-visit stack and visited
@@ -109,11 +111,13 @@ struct WalkMsg : pastry::Payload {
   std::vector<pastry::NodeHandle> stack;
   std::vector<U128> visited;
   int nodes_visited = 0;
+  std::uint64_t trace = 0;  ///< anycast span id (observability metadata)
   std::size_t wire_bytes() const override {
     return 64 + 24 * stack.size() + 16 * visited.size() +
            (inner ? inner->wire_bytes() : 0);
   }
   std::string name() const override { return "scribe.walk"; }
+  std::uint64_t trace_id() const override { return trace; }
 };
 
 /// Direct to the anycast origin: a member accepted.
@@ -122,8 +126,10 @@ struct AnycastAcceptedMsg : pastry::Payload {
   pastry::PayloadPtr inner;
   pastry::NodeHandle acceptor;
   int nodes_visited = 0;
+  std::uint64_t trace = 0;  ///< anycast span id (observability metadata)
   std::size_t wire_bytes() const override { return 64; }
   std::string name() const override { return "scribe.anycast_ok"; }
+  std::uint64_t trace_id() const override { return trace; }
 };
 
 /// Direct to the anycast origin: the whole tree was walked, nobody accepted.
@@ -131,8 +137,10 @@ struct AnycastFailedMsg : pastry::Payload {
   GroupId group;
   pastry::PayloadPtr inner;
   int nodes_visited = 0;
+  std::uint64_t trace = 0;  ///< anycast span id (observability metadata)
   std::size_t wire_bytes() const override { return 48; }
   std::string name() const override { return "scribe.anycast_fail"; }
+  std::uint64_t trace_id() const override { return trace; }
 };
 
 }  // namespace vb::scribe

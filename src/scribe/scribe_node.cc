@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "pastry/pastry_network.h"
 
 namespace vb::scribe {
@@ -145,6 +146,12 @@ void ScribeNode::anycast(const GroupId& group, PayloadPtr inner,
   walk->inner = std::move(inner);
   walk->origin = owner_->handle();
   walk->inner_category = category;
+  if (obs::TraceRecorder* tr = owner_->network().trace()) {
+    walk->trace = tr->new_trace_id();
+    tr->begin(owner_->network().simulator().now(), walk->trace,
+              static_cast<int>(owner_->handle().host), "scribe.anycast",
+              "scribe");
+  }
   if (in_tree(group)) {
     walk->visited.push_back(owner_->id());
     walk->nodes_visited = 1;
@@ -156,6 +163,7 @@ void ScribeNode::anycast(const GroupId& group, PayloadPtr inner,
   msg->inner = walk->inner;
   msg->origin = owner_->handle();
   msg->inner_category = category;
+  msg->trace = walk->trace;
   owner_->route(group, std::move(msg), category);
 }
 
@@ -223,6 +231,7 @@ bool ScribeNode::forward(pastry::PastryNode& self, pastry::RouteMsg& msg,
       walk->inner = any->inner;
       walk->origin = any->origin;
       walk->inner_category = any->inner_category;
+      walk->trace = any->trace;
       walk->visited.push_back(owner_->id());
       walk->nodes_visited = 1;
       process_walk(std::move(walk));
@@ -269,6 +278,7 @@ void ScribeNode::deliver(pastry::PastryNode& self, const pastry::RouteMsg& msg) 
     walk->inner = any->inner;
     walk->origin = any->origin;
     walk->inner_category = any->inner_category;
+    walk->trace = any->trace;
     walk->visited.push_back(owner_->id());
     walk->nodes_visited = 1;
     process_walk(std::move(walk));
@@ -321,6 +331,12 @@ void ScribeNode::push_neighbors(WalkMsg& walk, const GroupState& st) const {
 }
 
 void ScribeNode::process_walk(std::shared_ptr<WalkMsg> walk) {
+  if (obs::TraceRecorder* tr = owner_->network().trace()) {
+    tr->instant(owner_->network().simulator().now(), walk->trace,
+                static_cast<int>(owner_->handle().host), "anycast.visit",
+                "scribe", "nodes_visited",
+                static_cast<double>(walk->nodes_visited));
+  }
   const GroupState* st = find_group(walk->group);
   // Offer to local apps first (members only).
   if (st != nullptr && st->member) {
@@ -331,6 +347,7 @@ void ScribeNode::process_walk(std::shared_ptr<WalkMsg> walk) {
         ok->inner = walk->inner;
         ok->acceptor = owner_->handle();
         ok->nodes_visited = walk->nodes_visited;
+        ok->trace = walk->trace;
         owner_->send_reliable(walk->origin, std::move(ok),
                               walk->inner_category);
         return;
@@ -360,6 +377,7 @@ void ScribeNode::process_walk(std::shared_ptr<WalkMsg> walk) {
   fail->group = walk->group;
   fail->inner = walk->inner;
   fail->nodes_visited = walk->nodes_visited;
+  fail->trace = walk->trace;
   owner_->send_reliable(walk->origin, std::move(fail), walk->inner_category);
 }
 
@@ -410,6 +428,12 @@ void ScribeNode::receive_direct(pastry::PastryNode& self,
     return;
   }
   if (auto ok = std::dynamic_pointer_cast<const AnycastAcceptedMsg>(payload)) {
+    if (obs::TraceRecorder* tr = owner_->network().trace()) {
+      tr->end(owner_->network().simulator().now(), ok->trace,
+              static_cast<int>(owner_->handle().host), "scribe.anycast",
+              "scribe", "accepted", 1.0, "nodes_visited",
+              static_cast<double>(ok->nodes_visited));
+    }
     for (ScribeApp* app : apps_) {
       app->on_anycast_accepted(*this, ok->group, ok->inner, ok->acceptor,
                                ok->nodes_visited);
@@ -417,6 +441,12 @@ void ScribeNode::receive_direct(pastry::PastryNode& self,
     return;
   }
   if (auto fail = std::dynamic_pointer_cast<const AnycastFailedMsg>(payload)) {
+    if (obs::TraceRecorder* tr = owner_->network().trace()) {
+      tr->end(owner_->network().simulator().now(), fail->trace,
+              static_cast<int>(owner_->handle().host), "scribe.anycast",
+              "scribe", "accepted", 0.0, "nodes_visited",
+              static_cast<double>(fail->nodes_visited));
+    }
     for (ScribeApp* app : apps_) {
       app->on_anycast_failed(*this, fail->group, fail->inner);
     }

@@ -1,5 +1,10 @@
 #include "sim/fault_plan.h"
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
 #include <sstream>
 
 namespace vb::sim {
@@ -98,6 +103,7 @@ FaultDecision FaultPlan::decide(double now_s, const FaultEndpoints& ep) {
   for (const PartitionWindow& p : partitions_) {
     if (now_s >= p.start_s && now_s < p.end_s && crosses_partition(p, ep)) {
       d.drop = true;
+      d.partitioned = true;
     }
   }
   for (const FaultWindow& w : windows_) {
@@ -142,6 +148,9 @@ bool FaultPlan::quiescent_after(double t) const {
 
 std::string FaultPlan::describe() const {
   std::ostringstream os;
+  // 17 significant digits round-trip any double exactly, so the describe()
+  // string is a complete repro script parse_describe() can reconstruct.
+  os << std::setprecision(17);
   os << "seed=" << seed_;
   for (const FaultWindow& w : windows_) {
     os << " win[" << w.start_s << "," << w.end_s << ")";
@@ -158,6 +167,171 @@ std::string FaultPlan::describe() const {
        << (p.scope == PartitionWindow::Scope::kRack ? "rack " : "pod ")
        << p.index << ")[" << p.start_s << "," << p.end_s << ")";
   }
+  return os.str();
+}
+
+namespace {
+
+// Cursor over a describe() string: whitespace-separated tokens, each
+// scanned with the tiny helpers below.  Any mismatch flips `ok` and the
+// whole parse aborts.
+struct DescribeCursor {
+  const char* p;
+  bool ok = true;
+
+  void skip_ws() {
+    while (*p == ' ') ++p;
+  }
+  bool eat(const char* word) {
+    if (!ok) return false;
+    std::size_t n = std::strlen(word);
+    if (std::strncmp(p, word, n) != 0) {
+      ok = false;
+      return false;
+    }
+    p += n;
+    return true;
+  }
+  bool peek(const char* word) const {
+    return ok && std::strncmp(p, word, std::strlen(word)) == 0;
+  }
+  double number() {
+    if (!ok) return 0.0;
+    char* end = nullptr;
+    double v = std::strtod(p, &end);  // strtod accepts "inf"
+    if (end == p) {
+      ok = false;
+      return 0.0;
+    }
+    p = end;
+    return v;
+  }
+  long long integer() {
+    if (!ok) return 0;
+    char* end = nullptr;
+    long long v = std::strtoll(p, &end, 10);
+    if (end == p) {
+      ok = false;
+      return 0;
+    }
+    p = end;
+    return v;
+  }
+};
+
+void append_json_time(std::ostringstream& os, double t) {
+  if (std::isinf(t)) {
+    os << "null";
+  } else {
+    os << t;
+  }
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::parse_describe(const std::string& text) {
+  DescribeCursor c{text.c_str()};
+  c.skip_ws();
+  if (!c.eat("seed=")) return std::nullopt;
+  long long seed = c.integer();
+  if (!c.ok || seed < 0) return std::nullopt;
+  FaultPlan plan(static_cast<std::uint64_t>(seed));
+
+  while (c.ok) {
+    c.skip_ws();
+    if (*c.p == '\0') break;
+    if (c.peek("win[")) {
+      c.eat("win[");
+      FaultWindow w;
+      w.start_s = c.number();
+      c.eat(",");
+      w.end_s = c.number();
+      c.eat(")");
+      c.skip_ws();
+      if (c.peek("link ")) {
+        c.eat("link ");
+        w.src_host = static_cast<int>(c.integer());
+        c.eat("->");
+        w.dst_host = static_cast<int>(c.integer());
+        c.skip_ws();
+      }
+      if (c.peek("drop=")) {
+        c.eat("drop=");
+        w.drop_prob = c.number();
+        c.skip_ws();
+      }
+      if (c.peek("dup=")) {
+        c.eat("dup=");
+        w.dup_prob = c.number();
+        c.skip_ws();
+      }
+      if (c.peek("jitter=")) {
+        c.eat("jitter=");
+        w.jitter_max_s = c.number();
+        c.skip_ws();
+      }
+      if (c.peek("spike=")) {
+        c.eat("spike=");
+        w.delay_extra_s = c.number();
+      }
+      if (!c.ok) return std::nullopt;
+      plan.add_window(w);
+    } else if (c.peek("part(")) {
+      c.eat("part(");
+      PartitionWindow pw;
+      if (c.peek("rack ")) {
+        c.eat("rack ");
+        pw.scope = PartitionWindow::Scope::kRack;
+      } else if (c.peek("pod ")) {
+        c.eat("pod ");
+        pw.scope = PartitionWindow::Scope::kPod;
+      } else {
+        return std::nullopt;
+      }
+      pw.index = static_cast<int>(c.integer());
+      c.eat(")[");
+      pw.start_s = c.number();
+      c.eat(",");
+      pw.end_s = c.number();
+      c.eat(")");
+      if (!c.ok) return std::nullopt;
+      plan.add_partition(pw);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!c.ok) return std::nullopt;
+  return plan;
+}
+
+std::string FaultPlan::to_json() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"seed\": " << seed_ << ", \"windows\": [";
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const FaultWindow& w = windows_[i];
+    if (i > 0) os << ", ";
+    os << "{\"start_s\": " << w.start_s << ", \"end_s\": ";
+    append_json_time(os, w.end_s);
+    os << ", \"src_host\": " << w.src_host
+       << ", \"dst_host\": " << w.dst_host
+       << ", \"drop_prob\": " << w.drop_prob
+       << ", \"dup_prob\": " << w.dup_prob
+       << ", \"jitter_max_s\": " << w.jitter_max_s
+       << ", \"delay_extra_s\": " << w.delay_extra_s << "}";
+  }
+  os << "], \"partitions\": [";
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    const PartitionWindow& p = partitions_[i];
+    if (i > 0) os << ", ";
+    os << "{\"scope\": \""
+       << (p.scope == PartitionWindow::Scope::kRack ? "rack" : "pod")
+       << "\", \"index\": " << p.index << ", \"start_s\": " << p.start_s
+       << ", \"end_s\": ";
+    append_json_time(os, p.end_s);
+    os << "}";
+  }
+  os << "]}";
   return os.str();
 }
 

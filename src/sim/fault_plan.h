@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,7 @@ struct PartitionWindow {
 struct FaultDecision {
   bool drop = false;
   bool duplicate = false;
+  bool partitioned = false;        ///< drop was caused by a partition window
   double extra_delay_s = 0.0;      ///< added to the primary copy's latency
   double dup_extra_delay_s = 0.0;  ///< added to the duplicate's latency
 };
@@ -101,8 +103,20 @@ class FaultPlan {
   bool quiescent_after(double t) const;
 
   /// One-line reproduction recipe: seed plus every window/partition, e.g.
-  /// "seed=7 loss[300,2400)p=0.02 dup[300,2400)p=0.01 part(rack 0)[600,605)".
+  /// "seed=7 win[300,2400) drop=0.02 win[300,2400) dup=0.01
+  ///  part(rack 0)[600,605)".  Doubles are printed with 17 significant
+  /// digits, so parse_describe() round-trips the exact plan.
   std::string describe() const;
+
+  /// Parses a describe() string back into the equivalent plan (fresh Rng).
+  /// Returns nullopt on malformed input.  describe -> parse -> describe is
+  /// the identity; a unit test asserts it.
+  static std::optional<FaultPlan> parse_describe(const std::string& text);
+
+  /// The same repro as a structured JSON record, for embedding in flight-
+  /// recorder manifests: {"seed": N, "windows": [...], "partitions": [...]}.
+  /// Infinite end times are encoded as null.
+  std::string to_json() const;
 
   // --- canned schedules (chaos invariant suite, docs) --------------------
   /// 2% uniform loss + 1% duplication + 20 ms jitter over [300, 2400).

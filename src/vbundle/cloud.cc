@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace vb::core {
 
@@ -198,6 +199,52 @@ int VBundleCloud::overloaded_servers(double threshold) const {
     if (u > threshold) ++n;
   }
   return n;
+}
+
+void VBundleCloud::collect_metrics(obs::MetricsRegistry& reg) const {
+  reg.counter("sim.events_executed").set(sim_.events_executed());
+  reg.counter("sim.events_scheduled").set(sim_.events_scheduled());
+  reg.gauge("sim.now_s").set(sim_.now());
+
+  pastry_->export_metrics(reg);
+
+  ShuffleStats sum;
+  for (const auto& agent : owned_agents_) {
+    const ShuffleStats& s = agent->stats();
+    sum.queries_sent += s.queries_sent;
+    sum.queries_accepted += s.queries_accepted;
+    sum.queries_declined += s.queries_declined;
+    sum.anycast_failures += s.anycast_failures;
+    sum.query_timeouts += s.query_timeouts;
+    sum.lease_expiries += s.lease_expiries;
+    sum.migrations_out += s.migrations_out;
+    sum.migrations_in += s.migrations_in;
+  }
+  reg.counter("vbundle.queries_sent").set(sum.queries_sent);
+  reg.counter("vbundle.queries_accepted").set(sum.queries_accepted);
+  reg.counter("vbundle.queries_declined").set(sum.queries_declined);
+  reg.counter("vbundle.anycast_failures").set(sum.anycast_failures);
+  reg.counter("vbundle.query_timeouts").set(sum.query_timeouts);
+  reg.counter("vbundle.lease_expiries").set(sum.lease_expiries);
+  reg.counter("vbundle.migrations_out").set(sum.migrations_out);
+  reg.counter("vbundle.migrations_in").set(sum.migrations_in);
+
+  reg.counter("migration.started").set(migration_->started());
+  reg.counter("migration.completed").set(migration_->completed());
+  reg.gauge("migration.in_flight")
+      .set(static_cast<double>(migration_->in_flight()));
+  reg.gauge("migration.total_downtime_s").set(migration_->total_downtime_s());
+
+  obs::Distribution& util = reg.distribution("fleet.utilization");
+  util.reset();  // idempotent collection
+  int overloaded = 0;
+  for (double u : fleet_->utilization_snapshot()) {
+    util.observe(u);
+    if (u > 1.0) ++overloaded;
+  }
+  reg.gauge("fleet.utilization_stddev").set(utilization_stddev());
+  reg.gauge("fleet.overloaded_servers").set(static_cast<double>(overloaded));
+  reg.gauge("fleet.hosts").set(static_cast<double>(topo_.num_hosts()));
 }
 
 }  // namespace vb::core

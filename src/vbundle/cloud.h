@@ -120,6 +120,18 @@ class VBundleCloud {
   /// requests; rebalancing can be restarted later.
   void stop_rebalancing();
 
+  // --- observability -------------------------------------------------------
+  /// Attaches a trace recorder to the transport choke point (nullptr
+  /// detaches).  Recording is passive, so sim outcomes are unchanged.
+  void set_trace_recorder(obs::TraceRecorder* t) { pastry_->set_trace(t); }
+  obs::TraceRecorder* trace_recorder() const { return pastry_->trace(); }
+
+  /// Pushes a full metrics snapshot into `reg`: simulator event counts,
+  /// pastry transport roll-ups (via PastryNetwork::export_metrics), summed
+  /// shuffler stats, migration counts, and fleet utilization.  Idempotent —
+  /// counters/gauges are overwritten, distributions rebuilt.
+  void collect_metrics(obs::MetricsRegistry& reg) const;
+
   // --- snapshots & stats ---------------------------------------------------
   std::vector<double> utilization_snapshot() const {
     return fleet_->utilization_snapshot();

@@ -4,6 +4,7 @@
 // (the paper's §VII multi-metric extension).
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "pastry/pastry_network.h"
 #include "vbundle/controller.h"
 
@@ -195,16 +196,29 @@ void VBundleAgent::try_shed() {
   q->query_seq = ++query_seq_;
   query_in_flight_ = true;
   ++stats_.queries_sent;
+  std::uint64_t trace = 0;
+  if (obs::TraceRecorder* tr = node_->network().trace()) {
+    trace = tr->new_trace_id();
+    q->trace = trace;
+    tr->begin(node_->network().simulator().now(), trace,
+              static_cast<int>(node_->handle().host), "vbundle.shuffle",
+              "vbundle", "vm", static_cast<double>(vm));
+  }
   // Arm the reply timeout before launching the anycast: if neither accept
   // nor failure makes it back (both can die under chaos even with
   // retransmission), declare the query dead and move on.  The seq guard
   // makes stale timers no-ops, so nothing needs cancelling.
   std::uint64_t seq = query_seq_;
   node_->network().simulator().schedule_in(
-      cfg_->query_timeout_s, [this, seq]() {
+      cfg_->query_timeout_s, [this, seq, trace]() {
         if (!query_in_flight_ || seq != query_seq_) return;
         query_in_flight_ = false;
         ++stats_.query_timeouts;
+        if (obs::TraceRecorder* tr = node_->network().trace()) {
+          tr->end(node_->network().simulator().now(), trace,
+                  static_cast<int>(node_->handle().host), "vbundle.shuffle",
+                  "vbundle", "timeout", 1.0);
+        }
         try_shed();
       });
   scribe_->anycast(topics_.less_loaded, std::move(q), MsgCategory::kVBundle);
@@ -267,6 +281,11 @@ bool VBundleAgent::on_anycast(scribe::ScribeNode& self,
           release_accepted(vm);
         });
     ++stats_.queries_accepted;
+    if (obs::TraceRecorder* tr = node_->network().trace()) {
+      tr->instant(node_->network().simulator().now(), q->trace,
+                  static_cast<int>(node_->handle().host), "shuffle.hold",
+                  "vbundle", "vm", static_cast<double>(q->vm), "reused", 1.0);
+    }
     return true;
   }
   h.hold_all(q->spec);
@@ -284,6 +303,11 @@ bool VBundleAgent::on_anycast(scribe::ScribeNode& self,
       });
   pending_accepts_.emplace(q->vm, pending);
   ++stats_.queries_accepted;
+  if (obs::TraceRecorder* tr = node_->network().trace()) {
+    tr->instant(node_->network().simulator().now(), q->trace,
+                static_cast<int>(node_->handle().host), "shuffle.hold",
+                "vbundle", "vm", static_cast<double>(q->vm));
+  }
   return true;
 }
 
@@ -307,6 +331,11 @@ void VBundleAgent::on_anycast_accepted(scribe::ScribeNode& self,
     // exact amounts held at accept time.
     VBundleAgent* dst = directory_->at(static_cast<std::size_t>(acceptor.host));
     dst->release_accepted(q->vm);
+    if (obs::TraceRecorder* tr = node_->network().trace()) {
+      tr->instant(node_->network().simulator().now(), q->trace,
+                  static_cast<int>(node_->handle().host), "shuffle.stale",
+                  "vbundle", "vm", static_cast<double>(q->vm));
+    }
     if (!stale) {
       query_in_flight_ = false;
       try_shed();
@@ -322,12 +351,25 @@ void VBundleAgent::on_anycast_accepted(scribe::ScribeNode& self,
   int dst_host = acceptor.host;
   ++stats_.migrations_out;
   ++sheds_this_round_;
+  std::uint64_t trace = q->trace;
+  if (obs::TraceRecorder* tr = node_->network().trace()) {
+    tr->instant(node_->network().simulator().now(), trace,
+                static_cast<int>(node_->handle().host), "shuffle.migrate",
+                "vbundle", "vm", static_cast<double>(q->vm), "dst_host",
+                static_cast<double>(dst_host));
+  }
   migration_->start(
       q->vm, dst_host,
-      [this, moved_demand, moved_cpu, dst_host](host::VmId vm, int dst) {
+      [this, moved_demand, moved_cpu, dst_host, trace](host::VmId vm, int dst) {
         (void)dst;
         pending_out_demand_ -= moved_demand;
         pending_out_cpu_ -= moved_cpu;
+        if (obs::TraceRecorder* tr = node_->network().trace()) {
+          tr->end(node_->network().simulator().now(), trace,
+                  static_cast<int>(node_->handle().host), "vbundle.shuffle",
+                  "vbundle", "migrated", 1.0, "dst_host",
+                  static_cast<double>(dst_host));
+        }
         VBundleAgent* receiver =
             directory_->at(static_cast<std::size_t>(dst_host));
         receiver->on_migration_arrived(vm);
@@ -346,6 +388,11 @@ void VBundleAgent::on_anycast_failed(scribe::ScribeNode& self,
   if (!query_in_flight_ || q->query_seq != query_seq_) return;  // stale
   query_in_flight_ = false;
   ++stats_.anycast_failures;
+  if (obs::TraceRecorder* tr = node_->network().trace()) {
+    tr->end(node_->network().simulator().now(), q->trace,
+            static_cast<int>(node_->handle().host), "vbundle.shuffle",
+            "vbundle", "failed", 1.0);
+  }
   // Nobody could take this VM (e.g., its reservation fits nowhere).  Try
   // shedding a different, smaller VM within the same round rather than
   // retrying the same one forever.

@@ -37,8 +37,10 @@ struct LoadBalanceQueryMsg : pastry::Payload {
   /// already timed out (or superseded) are detected as stale and the
   /// receiver's hold is released instead of starting a migration.
   std::uint64_t query_seq = 0;
+  std::uint64_t trace = 0;  ///< shuffle span id (observability metadata)
   std::size_t wire_bytes() const override { return 112; }
   std::string name() const override { return "vbundle.lb_query"; }
+  std::uint64_t trace_id() const override { return trace; }
 };
 
 /// Per-agent shuffling statistics (bench instrumentation).

@@ -8,15 +8,27 @@
 //
 // The shrinker itself is exercised deterministically against a synthetic
 // predicate, so its correctness never depends on finding a real bug.
+//
+// On a real failure the minimal plan is replayed once more with the flight
+// recorder attached: the dump (trace + metrics + the plan's describe()/
+// to_json() repro) lands in chaos_flight/ and its path is embedded in the
+// gtest failure message.  The dump pipeline itself is covered by the
+// synthetic FlightRecorder test below, so it cannot rot while the fuzzer
+// keeps passing.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/fault_plan.h"
 #include "vbundle/cloud.h"
 #include "workloads/demand.h"
@@ -88,10 +100,16 @@ std::string violations(VBundleCloud& cloud, int booted) {
 }
 
 /// Runs the scenario under `plan` (taken by value: each evaluation gets a
-/// pristine Rng, so the run is a pure function of (seed, plan)).
-std::string run_with_plan(std::uint64_t seed, sim::FaultPlan plan) {
+/// pristine Rng, so the run is a pure function of (seed, plan)).  An
+/// optional trace recorder / metrics registry capture the run for a
+/// flight-recorder dump; recording is passive, so the traced replay is
+/// bit-identical to the untraced evaluation that failed.
+std::string run_with_plan(std::uint64_t seed, sim::FaultPlan plan,
+                          obs::TraceRecorder* trace = nullptr,
+                          obs::MetricsRegistry* metrics = nullptr) {
   Rng rng(seed);
   VBundleCloud cloud(fuzz_config(seed));
+  cloud.set_trace_recorder(trace);
   cloud.pastry().set_fault_plan(&plan);
 
   load::DemandModel model;
@@ -113,7 +131,9 @@ std::string run_with_plan(std::uint64_t seed, sim::FaultPlan plan) {
   cloud.run_until(2400.0);
   cloud.stop_rebalancing();
   cloud.run_until(3000.0);
-  return violations(cloud, booted);
+  std::string bad = violations(cloud, booted);
+  if (metrics != nullptr) cloud.collect_metrics(*metrics);
+  return bad;
 }
 
 // --- random plan generation ------------------------------------------------
@@ -226,9 +246,23 @@ TEST(ChaosFuzz, RandomPlansPreserveInvariants) {
       return !run_with_plan(seed, p).empty();
     };
     sim::FaultPlan minimal = shrink_plan(plan, still_fails);
+
+    // Replay the minimal plan with the flight recorder attached; the dump
+    // (last-N trace events + metrics + the exact repro plan) is the bug
+    // report, one click away from the CI log.
+    obs::TraceRecorder trace;
+    obs::MetricsRegistry metrics;
+    std::string replay_bad =
+        run_with_plan(seed, minimal.fresh(), &trace, &metrics);
+    obs::FlightDump dump = obs::dump_flight(
+        "chaos_flight", "seed" + std::to_string(seed), &trace, &metrics,
+        minimal.describe(), minimal.to_json(),
+        replay_bad.empty() ? bad : replay_bad);
+
     ADD_FAILURE() << "chaos fuzz violation, seed=" << seed << "\n  full plan:    "
                   << plan.describe() << "\n  violations:   " << bad
                   << "\n  minimal repro: " << minimal.describe()
+                  << "\n  " << dump.message()
                   << "\n  (rebuild this plan with the printed seed/windows to"
                      " replay bit-identically)";
     break;  // one shrunk repro per run is enough signal
@@ -271,6 +305,64 @@ TEST(ChaosShrinker, ReducesToCulpritWindow) {
   // Halving narrows the original 800 s window to a sliver around t=1000.
   EXPECT_LE(w.end_s - w.start_s, 25.0);
   EXPECT_LT(evals, 200);  // greedy shrink stays cheap
+}
+
+TEST(FlightRecorder, DumpEmbedsReproAndValidates) {
+  // Synthetic end-to-end check of the failure path that (hopefully) never
+  // fires for real: run a small chaos scenario with the recorder attached,
+  // dump it exactly the way the fuzzer would, and verify every artifact.
+  sim::FaultPlan plan = sim::FaultPlan::canned_partition(7);
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  std::string bad = run_with_plan(7, plan.fresh(), &trace, &metrics);
+  EXPECT_TRUE(bad.empty()) << bad;
+  ASSERT_GT(trace.size(), 0u);
+  ASSERT_GT(metrics.series_count(), 0u);
+
+  obs::FlightDump dump =
+      obs::dump_flight("chaos_flight", "synthetic", &trace, &metrics,
+                       plan.describe(), plan.to_json(), "synthetic check");
+  ASSERT_TRUE(dump.ok) << dump.error;
+  EXPECT_NE(dump.message().find(dump.manifest_path), std::string::npos);
+
+  // Every artifact exists and the JSON ones parse / validate.
+  for (const std::string& path :
+       {dump.manifest_path, dump.trace_chrome_path, dump.trace_jsonl_path,
+        dump.metrics_csv_path, dump.metrics_json_path}) {
+    std::ifstream probe(path);
+    EXPECT_TRUE(probe.good()) << "missing dump artifact: " << path;
+  }
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  };
+  std::string err;
+  EXPECT_TRUE(obs::validate_chrome_trace(slurp(dump.trace_chrome_path), &err))
+      << err;
+
+  // The manifest embeds the exact repro: its fault_plan record must parse
+  // and carry the plan's seed, and the repro script must rebuild the plan.
+  auto manifest = obs::parse_json(slurp(dump.manifest_path), &err);
+  ASSERT_TRUE(manifest.has_value()) << err;
+  ASSERT_NE(manifest->find("reason"), nullptr);
+  EXPECT_EQ(manifest->find("reason")->str, "synthetic check");
+  const obs::JsonValue* fp = manifest->find("fault_plan");
+  ASSERT_NE(fp, nullptr);
+  ASSERT_TRUE(fp->is_object());
+  EXPECT_DOUBLE_EQ(fp->find("seed")->number, 7.0);
+  EXPECT_EQ(fp->find("windows")->array.size(), plan.windows().size());
+  EXPECT_EQ(fp->find("partitions")->array.size(), plan.partitions().size());
+  ASSERT_NE(manifest->find("repro"), nullptr);
+  auto rebuilt = sim::FaultPlan::parse_describe(manifest->find("repro")->str);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(rebuilt->describe(), plan.describe());
+
+  const obs::JsonValue* tinfo = manifest->find("trace");
+  ASSERT_NE(tinfo, nullptr);
+  EXPECT_DOUBLE_EQ(tinfo->find("events")->number,
+                   static_cast<double>(trace.size()));
 }
 
 TEST(ChaosShrinker, AlreadyMinimalPlanIsUnchanged) {

@@ -1,0 +1,134 @@
+// MetricsRegistry unit tests: series creation, snapshot ordering, export
+// formats (CSV and JSON), and the idempotent-collection contract.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace vb {
+namespace {
+
+TEST(MetricsRegistry, CountersGaugesDistributionsBasics) {
+  obs::MetricsRegistry reg;
+  reg.counter("msgs").inc();
+  reg.counter("msgs").inc(4);
+  EXPECT_EQ(reg.counter("msgs").value(), 5u);
+  reg.counter("msgs").set(2);
+  EXPECT_EQ(reg.counter("msgs").value(), 2u);
+
+  reg.gauge("util").set(0.75);
+  EXPECT_DOUBLE_EQ(reg.gauge("util").value(), 0.75);
+
+  obs::Distribution& d = reg.distribution("lat");
+  d.observe(1.0);
+  d.observe(3.0);
+  EXPECT_EQ(d.acc().count(), 2u);
+  EXPECT_DOUBLE_EQ(d.acc().mean(), 2.0);
+
+  EXPECT_TRUE(reg.has("msgs"));
+  EXPECT_TRUE(reg.has("util"));
+  EXPECT_TRUE(reg.has("lat"));
+  EXPECT_FALSE(reg.has("nope"));
+  EXPECT_EQ(reg.series_count(), 3u);
+  ASSERT_NE(reg.find_counter("msgs"), nullptr);
+  EXPECT_EQ(reg.find_counter("util"), nullptr);  // wrong type
+  ASSERT_NE(reg.find_gauge("util"), nullptr);
+  ASSERT_NE(reg.find_distribution("lat"), nullptr);
+}
+
+TEST(MetricsRegistry, ResetBeforeReobserveIsIdempotent) {
+  obs::MetricsRegistry reg;
+  for (int round = 0; round < 3; ++round) {
+    obs::Distribution& d = reg.distribution("population");
+    d.reset();
+    d.observe(1.0);
+    d.observe(2.0);
+  }
+  // Three collections of the same 2-sample population must not accumulate.
+  EXPECT_EQ(reg.find_distribution("population")->acc().count(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotIsTypeThenNameOrdered) {
+  obs::MetricsRegistry reg;
+  reg.counter("z.count").set(1);
+  reg.counter("a.count").set(2);
+  reg.gauge("m.gauge").set(3.0);
+  reg.distribution("b.dist").observe(4.0);
+
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].name, "a.count");
+  EXPECT_EQ(std::string(snap[0].type), "counter");
+  EXPECT_EQ(snap[1].name, "z.count");
+  EXPECT_EQ(snap[2].name, "m.gauge");
+  EXPECT_EQ(std::string(snap[2].type), "gauge");
+  EXPECT_EQ(snap[3].name, "b.dist");
+  EXPECT_EQ(std::string(snap[3].type), "distribution");
+  EXPECT_EQ(snap[3].count, 1u);
+  EXPECT_DOUBLE_EQ(snap[3].mean, 4.0);
+}
+
+TEST(MetricsRegistry, CsvExportHasHeaderAndAllSeries) {
+  obs::MetricsRegistry reg;
+  reg.counter("msgs").set(7);
+  reg.gauge("util").set(0.5);
+  reg.distribution("lat").observe(2.0);
+
+  std::string path = "metrics_test_out.csv";
+  ASSERT_TRUE(reg.write_csv(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "name,type,count,value,mean,stddev,min,max");
+  int rows = 0;
+  std::string line;
+  bool saw_msgs = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("msgs,counter,", 0) == 0) saw_msgs = true;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 3);
+  EXPECT_TRUE(saw_msgs);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsRegistry, JsonExportParsesWithExpectedShape) {
+  obs::MetricsRegistry reg;
+  reg.counter("msgs").set(7);
+  reg.gauge("util").set(0.5);
+
+  std::string err;
+  auto doc = obs::parse_json(reg.to_json(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const obs::JsonValue* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  ASSERT_EQ(metrics->array.size(), 2u);
+  const obs::JsonValue& first = metrics->array[0];
+  ASSERT_NE(first.find("name"), nullptr);
+  EXPECT_EQ(first.find("name")->str, "msgs");
+  ASSERT_NE(first.find("value"), nullptr);
+  EXPECT_DOUBLE_EQ(first.find("value")->number, 7.0);
+  ASSERT_NE(first.find("type"), nullptr);
+  EXPECT_EQ(first.find("type")->str, "counter");
+}
+
+TEST(MetricsRegistry, ReferencesStayValidAcrossInserts) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("a");
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i)).inc();
+  }
+  a.set(9);  // must still point at the live series (map nodes are stable)
+  EXPECT_EQ(reg.find_counter("a")->value(), 9u);
+}
+
+}  // namespace
+}  // namespace vb

@@ -1,0 +1,165 @@
+// TraceRecorder unit tests: ring-buffer wrap-around, Chrome/JSONL export
+// validity, and the reliable-delivery tracing contract — every copy of a
+// retransmitted payload (original, retransmits, ack) shares one span.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "pastry/pastry_network.h"
+#include "sim/fault_plan.h"
+
+namespace vb {
+namespace {
+
+TEST(TraceRecorder, RingWrapKeepsNewestEvents) {
+  obs::TraceRecorder tr(8);
+  for (int i = 0; i < 20; ++i) {
+    tr.instant(static_cast<double>(i), 0, i, "tick", "test");
+  }
+  EXPECT_EQ(tr.capacity(), 8u);
+  EXPECT_EQ(tr.size(), 8u);
+  EXPECT_EQ(tr.total_recorded(), 20u);
+  EXPECT_EQ(tr.dropped(), 12u);
+
+  std::vector<obs::TraceEvent> events = tr.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest first, and the survivors are exactly the last 8 recorded.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(events[static_cast<std::size_t>(i)].ts_s, 12.0 + i);
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].node, 12 + i);
+  }
+
+  tr.clear();
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.total_recorded(), 0u);
+  EXPECT_TRUE(tr.snapshot().empty());
+}
+
+TEST(TraceRecorder, SnapshotBeforeWrapIsInsertionOrder) {
+  obs::TraceRecorder tr(8);
+  for (int i = 0; i < 5; ++i) {
+    tr.instant(static_cast<double>(i), 0, i, "tick", "test");
+  }
+  std::vector<obs::TraceEvent> events = tr.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(events[static_cast<std::size_t>(i)].ts_s,
+                     static_cast<double>(i));
+  }
+  EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST(TraceRecorder, ChromeExportPassesSchemaValidation) {
+  obs::TraceRecorder tr;
+  std::uint64_t id = tr.new_trace_id();
+  ASSERT_NE(id, 0u);
+  tr.begin(0.5, id, 3, "span", "test", "k", 1.0);
+  tr.instant(0.75, id, 4, "mark", "test", "a", 2.0, "b", 3.0);
+  tr.instant(0.8, 0, 5, "plain", "test");  // id 0: plain instant, no "id"
+  tr.end(1.0, id, 4, "span", "test", "hops", 3.0);
+
+  std::string err;
+  EXPECT_TRUE(obs::validate_chrome_trace(tr.chrome_json(), &err)) << err;
+}
+
+TEST(TraceRecorder, JsonlLinesAreStandaloneDocuments) {
+  obs::TraceRecorder tr;
+  std::uint64_t id = tr.new_trace_id();
+  tr.begin(0.0, id, 1, "span", "test");
+  tr.instant(0.25, id, 2, "mark \"quoted\"", "test", "x", 0.5);
+  tr.end(1.0, id, 2, "span", "test");
+
+  std::ostringstream os;
+  tr.export_jsonl(os);
+  std::istringstream lines(os.str());
+  std::string line, err;
+  std::size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    auto doc = obs::parse_json(line, &err);
+    ASSERT_TRUE(doc.has_value()) << err << " in: " << line;
+    ASSERT_TRUE(doc->is_object());
+    EXPECT_NE(doc->find("ts_s"), nullptr);
+    EXPECT_NE(doc->find("ph"), nullptr);
+    EXPECT_NE(doc->find("name"), nullptr);
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, tr.size());
+}
+
+// --- retransmit span sharing ----------------------------------------------
+
+struct Sink : pastry::PastryApp {
+  int direct = 0;
+  void deliver(pastry::PastryNode&, const pastry::RouteMsg&) override {}
+  void receive_direct(pastry::PastryNode&, const pastry::NodeHandle&,
+                      const pastry::PayloadPtr&,
+                      pastry::MsgCategory) override {
+    ++direct;
+  }
+};
+
+struct Blob : pastry::Payload {
+  std::size_t wire_bytes() const override { return 64; }
+  std::string name() const override { return "test.blob"; }
+};
+
+TEST(TraceRecorder, RetransmitCopiesShareOneSpan) {
+  net::TopologyConfig tc;
+  tc.num_pods = 1;
+  tc.racks_per_pod = 2;
+  tc.hosts_per_rack = 4;
+  net::Topology topo(tc);
+  sim::Simulator sim;
+  pastry::PastryNetwork net(&sim, &topo);
+  Sink sink;
+  Rng rng(42);
+  for (int h = 0; h < topo.num_hosts(); ++h) {
+    net.add_node_oracle(rng.next_u128(), h).add_app(&sink);
+  }
+
+  obs::TraceRecorder tr;
+  net.set_trace(&tr);
+  // Total loss until t=1.4: the first copy (t~0) and the first retransmit
+  // (t~0.5) die; the second retransmit (t~1.5, after backoff doubles the
+  // RTO to 1 s) gets through, as does its ack.
+  sim::FaultPlan plan(7);
+  plan.uniform_loss(1.0, 0.0, 1.4);
+  net.set_fault_plan(&plan);
+
+  auto nodes = net.nodes();
+  nodes[0]->send_reliable(nodes[5]->handle(), std::make_shared<Blob>(),
+                          pastry::MsgCategory::kVBundle);
+  sim.run_to_completion();
+
+  EXPECT_EQ(sink.direct, 1) << "dedup must deliver the payload exactly once";
+  EXPECT_EQ(nodes[0]->pending_reliable_count(), 0u);
+
+  int sends = 0, retransmits = 0, acked = 0, drops = 0;
+  std::set<std::uint64_t> span_ids;
+  for (const obs::TraceEvent& e : tr.snapshot()) {
+    std::string name = e.name;
+    if (name == "rel.send") { ++sends; span_ids.insert(e.trace_id); }
+    if (name == "rel.retransmit") { ++retransmits; span_ids.insert(e.trace_id); }
+    if (name == "rel.acked") { ++acked; span_ids.insert(e.trace_id); }
+    if (name == "fault.drop") ++drops;
+  }
+  EXPECT_EQ(sends, 1);
+  EXPECT_GE(retransmits, 2);
+  EXPECT_EQ(acked, 1);
+  EXPECT_GE(drops, 2);
+  // All copies of the envelope — original, every retransmit, and the ack —
+  // carry the single span id minted at send_reliable time.
+  ASSERT_EQ(span_ids.size(), 1u);
+  EXPECT_NE(*span_ids.begin(), 0u);
+}
+
+}  // namespace
+}  // namespace vb

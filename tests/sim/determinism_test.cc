@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "hostmodel/host.h"
+#include "obs/trace.h"
 #include "vbundle/cloud.h"
 #include "workloads/scenario.h"
 
@@ -59,8 +60,10 @@ std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
 }
 
 // One 500-server shuffle scenario: skewed load, periodic update ticks, one
-// full rebalancing round, migrations settled.
-RunFingerprint run_scenario(std::uint64_t seed) {
+// full rebalancing round, migrations settled.  An attached TraceRecorder
+// must be invisible to the fingerprint (recording is passive).
+RunFingerprint run_scenario(std::uint64_t seed,
+                            obs::TraceRecorder* trace = nullptr) {
   core::CloudConfig cfg;
   cfg.topology.num_pods = 5;
   cfg.topology.racks_per_pod = 5;
@@ -69,6 +72,7 @@ RunFingerprint run_scenario(std::uint64_t seed) {
   cfg.seed = seed;
 
   core::VBundleCloud cloud(cfg);
+  cloud.set_trace_recorder(trace);
   auto c = cloud.add_customer("DeterminismCheck");
   const int servers = cloud.fleet().num_hosts();
   const int vms = servers * 10;
@@ -136,6 +140,26 @@ TEST(Determinism, IdenticalSeedGivesBitIdenticalShuffleOutcome) {
   EXPECT_GT(a.stats.queries_sent, 0u);
   EXPECT_GT(a.events_cancelled, 0u)
       << "expected the run to exercise event cancellation";
+}
+
+TEST(Determinism, TracingDoesNotPerturbSimOutcomes) {
+  // The observability tentpole's core promise: attaching a TraceRecorder
+  // records thousands of events but schedules nothing and draws no
+  // randomness, so the traced run is bit-identical to the untraced one.
+  RunFingerprint untraced = run_scenario(42);
+  obs::TraceRecorder trace;
+  RunFingerprint traced = run_scenario(42, &trace);
+
+  EXPECT_EQ(untraced.events_executed, traced.events_executed);
+  EXPECT_EQ(untraced.events_scheduled, traced.events_scheduled);
+  EXPECT_EQ(untraced.events_cancelled, traced.events_cancelled);
+  EXPECT_EQ(untraced.migrations, traced.migrations);
+  EXPECT_EQ(untraced.placement_hash, traced.placement_hash);
+  EXPECT_EQ(untraced.utilization_hash, traced.utilization_hash);
+  EXPECT_TRUE(same_fingerprint(untraced, traced));
+
+  // ...and the recorder actually captured the run.
+  EXPECT_GT(trace.total_recorded(), 0u);
 }
 
 TEST(Determinism, DifferentSeedsActuallyDiverge) {

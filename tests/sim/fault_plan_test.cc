@@ -1,0 +1,138 @@
+// FaultPlan repro-record tests: describe()/parse_describe() must round-trip
+// exactly (the shrunk chaos repro in a failure message has to rebuild the
+// identical plan), to_json() must emit the structured record the flight
+// recorder embeds, and decide() must tag partition drops as such.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+#include "sim/fault_plan.h"
+
+namespace vb::sim {
+namespace {
+
+FaultEndpoints endpoints(int src_host, int dst_host, int src_rack,
+                         int dst_rack) {
+  FaultEndpoints ep;
+  ep.src_host = src_host;
+  ep.dst_host = dst_host;
+  ep.src_rack = src_rack;
+  ep.dst_rack = dst_rack;
+  ep.src_pod = 0;
+  ep.dst_pod = 0;
+  return ep;
+}
+
+TEST(FaultPlan, DescribeParseRoundTripIsIdentity) {
+  FaultPlan plan(7);
+  // Deliberately awkward doubles: 0.1+0.2 and 1.0/3.0 have no short decimal
+  // form, so this only round-trips at full precision.
+  plan.uniform_loss(0.1 + 0.2, 1.0 / 3.0, 1234.5678901234567);
+  plan.uniform_duplication(0.01, 300.0, 900.0);
+  plan.jitter(0.02, 100.0);  // open-ended window (end = infinity)
+  plan.delay_spike(1.5, 600.0, 660.0);
+  plan.link_loss(3, 11, 0.25, 50.0, 950.0);
+  plan.partition_rack(2, 600.0, 605.0);
+  plan.partition_pod(0, 700.0, 701.0);
+
+  std::string script = plan.describe();
+  auto parsed = FaultPlan::parse_describe(script);
+  ASSERT_TRUE(parsed.has_value()) << script;
+  EXPECT_EQ(parsed->describe(), script);
+  EXPECT_EQ(parsed->seed(), plan.seed());
+  ASSERT_EQ(parsed->windows().size(), plan.windows().size());
+  ASSERT_EQ(parsed->partitions().size(), plan.partitions().size());
+  for (std::size_t i = 0; i < plan.windows().size(); ++i) {
+    EXPECT_EQ(parsed->windows()[i].start_s, plan.windows()[i].start_s);
+    EXPECT_EQ(parsed->windows()[i].end_s, plan.windows()[i].end_s);
+    EXPECT_EQ(parsed->windows()[i].src_host, plan.windows()[i].src_host);
+    EXPECT_EQ(parsed->windows()[i].dst_host, plan.windows()[i].dst_host);
+    EXPECT_EQ(parsed->windows()[i].drop_prob, plan.windows()[i].drop_prob);
+    EXPECT_EQ(parsed->windows()[i].dup_prob, plan.windows()[i].dup_prob);
+    EXPECT_EQ(parsed->windows()[i].jitter_max_s,
+              plan.windows()[i].jitter_max_s);
+    EXPECT_EQ(parsed->windows()[i].delay_extra_s,
+              plan.windows()[i].delay_extra_s);
+  }
+}
+
+TEST(FaultPlan, CannedPlansRoundTrip) {
+  for (FaultPlan plan : {FaultPlan::canned_loss(11),
+                         FaultPlan::canned_partition(12),
+                         FaultPlan::canned_storm(13)}) {
+    std::string script = plan.describe();
+    auto parsed = FaultPlan::parse_describe(script);
+    ASSERT_TRUE(parsed.has_value()) << script;
+    EXPECT_EQ(parsed->describe(), script);
+  }
+}
+
+TEST(FaultPlan, ParseRejectsMalformedScripts) {
+  EXPECT_FALSE(FaultPlan::parse_describe("").has_value());
+  EXPECT_FALSE(FaultPlan::parse_describe("win[0,1) drop=0.5").has_value());
+  EXPECT_FALSE(FaultPlan::parse_describe("seed=x win[0,1)").has_value());
+  EXPECT_FALSE(FaultPlan::parse_describe("seed=1 win[0,1").has_value());
+  EXPECT_FALSE(FaultPlan::parse_describe("seed=1 part(tor 0)[0,1)").has_value());
+}
+
+TEST(FaultPlan, ToJsonIsStructuredAndParses) {
+  FaultPlan plan(42);
+  plan.uniform_loss(0.02, 300.0, 2400.0);
+  plan.jitter(0.02, 100.0);  // infinite end -> null in JSON
+  plan.link_loss(1, 5, 0.5, 0.0, 10.0);
+  plan.partition_rack(0, 600.0, 605.0);
+
+  std::string err;
+  auto doc = obs::parse_json(plan.to_json(), &err);
+  ASSERT_TRUE(doc.has_value()) << err << "\n" << plan.to_json();
+  ASSERT_NE(doc->find("seed"), nullptr);
+  EXPECT_DOUBLE_EQ(doc->find("seed")->number, 42.0);
+
+  const obs::JsonValue* windows = doc->find("windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_TRUE(windows->is_array());
+  ASSERT_EQ(windows->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(windows->array[0].find("drop_prob")->number, 0.02);
+  EXPECT_DOUBLE_EQ(windows->array[0].find("end_s")->number, 2400.0);
+  EXPECT_TRUE(windows->array[1].find("end_s")->is_null())
+      << "open-ended window must encode end_s as null";
+  EXPECT_DOUBLE_EQ(windows->array[2].find("src_host")->number, 1.0);
+  EXPECT_DOUBLE_EQ(windows->array[2].find("dst_host")->number, 5.0);
+
+  const obs::JsonValue* parts = doc->find("partitions");
+  ASSERT_NE(parts, nullptr);
+  ASSERT_TRUE(parts->is_array());
+  ASSERT_EQ(parts->array.size(), 1u);
+  EXPECT_EQ(parts->array[0].find("scope")->str, "rack");
+  EXPECT_DOUBLE_EQ(parts->array[0].find("index")->number, 0.0);
+}
+
+TEST(FaultPlan, DecideTagsPartitionDrops) {
+  FaultPlan plan(7);
+  plan.partition_rack(0, 0.0, 10.0);
+
+  // Crossing the partition boundary: dropped, tagged as partitioned.
+  FaultDecision cross = plan.decide(5.0, endpoints(0, 8, 0, 1));
+  EXPECT_TRUE(cross.drop);
+  EXPECT_TRUE(cross.partitioned);
+
+  // Fully inside the partitioned rack: flows.
+  FaultDecision inside = plan.decide(5.0, endpoints(0, 1, 0, 0));
+  EXPECT_FALSE(inside.drop);
+  EXPECT_FALSE(inside.partitioned);
+
+  // After the window closes: flows.
+  FaultDecision late = plan.decide(11.0, endpoints(0, 8, 0, 1));
+  EXPECT_FALSE(late.drop);
+
+  // A probability-1 loss window drops but is NOT a partition drop.
+  FaultPlan lossy(8);
+  lossy.uniform_loss(1.0, 0.0, 10.0);
+  FaultDecision lost = lossy.decide(5.0, endpoints(0, 8, 0, 1));
+  EXPECT_TRUE(lost.drop);
+  EXPECT_FALSE(lost.partitioned);
+}
+
+}  // namespace
+}  // namespace vb::sim

@@ -24,4 +24,10 @@ ctest --preset asan-ubsan "$@"
 ./build-asan/tools/vbundle_sim rebalance --duration 600 --seed 7 >/dev/null
 ./build-asan/tools/vbundle_sim sipp --duration 200 --seed 7 >/dev/null
 
+# Observability end-to-end under the sanitizers: chaos scenario with the
+# trace recorder attached, schema-validating its own exports.
+./build-asan/tools/trace_smoke \
+  --trace=build-asan/trace_smoke_asan.trace.json \
+  --metrics=build-asan/trace_smoke_asan.metrics.csv
+
 echo "sanitize_check: ASan+UBSan clean"

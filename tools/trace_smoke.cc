@@ -1,0 +1,158 @@
+// trace_smoke: end-to-end validation of the observability layer on a real
+// 64-server scenario with chaos enabled.
+//
+// Drives the full stack — placement boots, rebalancing (shuffler anycasts +
+// migrations), aggregation rounds, reliable delivery — under the canned
+// loss FaultPlan with a TraceRecorder attached, then asserts:
+//
+//   1. every instrumented chain shows up in the trace (pastry.route,
+//      scribe.anycast, vbundle.shuffle, agg.update, rel.send, fault.*),
+//   2. the Chrome trace_event export passes the schema validator,
+//   3. every JSONL line parses as a standalone JSON object,
+//   4. the metrics snapshot contains the required series and non-trivial
+//      values (traffic flowed, chaos actually dropped messages).
+//
+// Run as the trace_smoke ctest (and under ASan+UBSan via
+// tools/sanitize_check.sh).  Exits non-zero with a FAIL line on the first
+// violated check.
+//
+// Flags: --trace=PATH (default trace_smoke.trace.json)
+//        --metrics=PATH (default trace_smoke.metrics.csv)
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/fault_plan.h"
+#include "vbundle/cloud.h"
+#include "workloads/scenario.h"
+
+using namespace vb;
+
+namespace {
+
+int fail(const char* what, const std::string& detail = "") {
+  std::fprintf(stderr, "trace_smoke FAIL: %s%s%s\n", what,
+               detail.empty() ? "" : ": ", detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::parse(argc - 1, argv + 1);
+  std::string trace_path = flags.get_string("trace", "trace_smoke.trace.json");
+  std::string metrics_path =
+      flags.get_string("metrics", "trace_smoke.metrics.csv");
+
+  // 64 servers: 1 pod x 8 racks x 8 hosts.  Short intervals so three
+  // rebalance rounds fit in 900 simulated seconds.
+  core::CloudConfig cfg;
+  cfg.topology.num_pods = 1;
+  cfg.topology.racks_per_pod = 8;
+  cfg.topology.hosts_per_rack = 8;
+  cfg.vbundle.update_interval_s = 60.0;
+  cfg.vbundle.rebalance_interval_s = 240.0;
+  core::VBundleCloud cloud(cfg);
+
+  obs::TraceRecorder trace;
+  cloud.set_trace_recorder(&trace);
+  sim::FaultPlan plan = sim::FaultPlan::canned_loss(7);
+  cloud.pastry().set_fault_plan(&plan);
+
+  auto c = cloud.add_customer("TraceSmoke");
+  int booted = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto r = cloud.boot_vm(c, host::VmSpec{20.0, 100.0});
+    if (r.ok) ++booted;
+  }
+  if (booted == 0) return fail("no VM booted through the placement protocol");
+  // Directly-placed load plus skew produces shedders for the shuffler.
+  for (int h = 0; h < cloud.num_hosts(); ++h) {
+    for (int i = 0; i < 10; ++i) {
+      host::VmId v = cloud.fleet().create_vm(c, host::VmSpec{20.0, 100.0});
+      cloud.fleet().place(v, h);
+    }
+  }
+  Rng rng(7);
+  load::skew_host_utilizations(cloud.fleet(), 0.2, 0.95, rng);
+  cloud.start_rebalancing(0.0, 240.0);
+  cloud.run_until(900.0);  // canned_loss is active from t=300 on
+  cloud.stop_rebalancing();
+
+  if (trace.size() == 0) return fail("trace recorder is empty");
+
+  // 1. Every instrumented chain left events on the timeline.
+  std::set<std::string> names;
+  bool fault_seen = false;
+  for (const obs::TraceEvent& e : trace.snapshot()) {
+    names.insert(e.name);
+    if (std::string(e.cat) == "fault") fault_seen = true;
+  }
+  for (const char* required :
+       {"pastry.route", "pastry.hop", "scribe.anycast", "anycast.visit",
+        "vbundle.shuffle", "agg.update", "agg.global", "rel.send"}) {
+    if (names.count(required) == 0) {
+      return fail("missing trace event", required);
+    }
+  }
+  if (!fault_seen) return fail("no fault instants recorded (plan inactive?)");
+
+  // 2. Chrome export validates against the trace_event schema.
+  std::string err;
+  if (!obs::validate_chrome_trace(trace.chrome_json(), &err)) {
+    return fail("chrome trace schema", err);
+  }
+  if (!trace.write_chrome_json(trace_path)) {
+    return fail("cannot write", trace_path);
+  }
+
+  // 3. Every JSONL line is a standalone JSON document.
+  std::ostringstream jl;
+  trace.export_jsonl(jl);
+  std::istringstream lines(jl.str());
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (!obs::parse_json(line, &err)) return fail("invalid JSONL line", err);
+    ++parsed;
+  }
+  if (parsed != trace.size()) return fail("JSONL line count != trace size");
+
+  // 4. The metrics snapshot has the required series with non-trivial values.
+  obs::MetricsRegistry reg;
+  cloud.collect_metrics(reg);
+  for (const char* series :
+       {"sim.events_executed", "pastry.msgs.total", "pastry.bytes.total",
+        "fault.dropped_msgs", "vbundle.queries_sent", "vbundle.migrations_out",
+        "migration.completed", "fleet.utilization"}) {
+    if (!reg.has(series)) return fail("missing metric series", series);
+  }
+  if (reg.find_counter("pastry.msgs.total")->value() == 0) {
+    return fail("no transport traffic counted");
+  }
+  if (reg.find_counter("fault.dropped_msgs")->value() == 0) {
+    return fail("chaos plan dropped nothing");
+  }
+  if (reg.find_counter("vbundle.queries_sent")->value() == 0) {
+    return fail("shuffler sent no queries");
+  }
+  if (!reg.write(metrics_path)) return fail("cannot write", metrics_path);
+
+  std::printf(
+      "trace_smoke OK: %zu trace events (%llu recorded, %llu dropped by "
+      "ring), %zu metric series, %llu transport msgs, %llu chaos drops\n",
+      trace.size(), static_cast<unsigned long long>(trace.total_recorded()),
+      static_cast<unsigned long long>(trace.dropped()), reg.series_count(),
+      static_cast<unsigned long long>(
+          reg.find_counter("pastry.msgs.total")->value()),
+      static_cast<unsigned long long>(
+          reg.find_counter("fault.dropped_msgs")->value()));
+  return 0;
+}

@@ -14,6 +14,10 @@
 //   --update-interval S --rebalance-interval S
 //   --duration S                      simulated seconds to run
 //   --csv PATH                        also dump the series as CSV
+//   --trace PATH                      record causal traces; Chrome JSON
+//                                     (or JSONL if PATH ends in .jsonl)
+//   --metrics PATH                    final metrics snapshot; CSV
+//                                     (or JSON if PATH ends in .json)
 //
 // Examples:
 //   vbundle_sim placement --customers 5 --vms 200 --racks 8
@@ -25,6 +29,8 @@
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vbundle/cloud.h"
 #include "workloads/scenario.h"
 #include "workloads/sip_model.h"
@@ -52,10 +58,44 @@ core::CloudConfig config_from(const Flags& flags) {
   return cfg;
 }
 
+// Attaches the --trace/--metrics observability sinks to a cloud and flushes
+// them when the subcommand returns (any exit path after construction).
+struct ObsSink {
+  ObsSink(const Flags& flags, core::VBundleCloud& c)
+      : trace_path_(flags.get_string("trace", "")),
+        metrics_path_(flags.get_string("metrics", "")),
+        cloud_(&c) {
+    if (!trace_path_.empty()) cloud_->set_trace_recorder(&trace_);
+  }
+  ~ObsSink() {
+    if (!trace_path_.empty()) {
+      cloud_->set_trace_recorder(nullptr);
+      trace_.write(trace_path_);
+      std::printf("wrote %s (%zu trace events, %llu dropped)\n",
+                  trace_path_.c_str(), trace_.size(),
+                  static_cast<unsigned long long>(trace_.dropped()));
+    }
+    if (!metrics_path_.empty()) {
+      cloud_->collect_metrics(metrics_);
+      metrics_.write(metrics_path_);
+      std::printf("wrote %s (%zu series)\n", metrics_path_.c_str(),
+                  metrics_.series_count());
+    }
+  }
+
+ private:
+  obs::TraceRecorder trace_;
+  obs::MetricsRegistry metrics_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  core::VBundleCloud* cloud_;
+};
+
 int run_placement(const Flags& flags) {
   core::CloudConfig cfg = config_from(flags);
   cfg.vbundle.max_placement_visits = flags.get_int("max-visits", 1024);
   core::VBundleCloud cloud(cfg);
+  ObsSink obs_sink(flags, cloud);
   int n_customers = flags.get_int("customers", 3);
   int vms_each = flags.get_int("vms", 50);
 
@@ -96,6 +136,7 @@ int run_placement(const Flags& flags) {
 int run_rebalance(const Flags& flags) {
   core::CloudConfig cfg = config_from(flags);
   core::VBundleCloud cloud(cfg);
+  ObsSink obs_sink(flags, cloud);
   int vms_per_host = flags.get_int("vms-per-host", 10);
   double duration = flags.get_double("duration", 4800.0);
 
@@ -144,6 +185,7 @@ int run_sipp(const Flags& flags) {
   cfg.vbundle.rebalance_interval_s =
       flags.get_double("rebalance-interval", 75.0);
   core::VBundleCloud cloud(cfg);
+  ObsSink obs_sink(flags, cloud);
   auto cust = cloud.add_customer("voip");
 
   host::VmId sipp_vm = cloud.fleet().create_vm(cust, host::VmSpec{100, 400});
@@ -198,6 +240,7 @@ int run_sipp(const Flags& flags) {
 int run_overhead(const Flags& flags) {
   core::CloudConfig cfg = config_from(flags);
   core::VBundleCloud cloud(cfg);
+  ObsSink obs_sink(flags, cloud);
   auto c = cloud.add_customer("cli");
   for (int h = 0; h < cloud.num_hosts(); ++h) {
     for (int i = 0; i < 6; ++i) {
