@@ -10,6 +10,13 @@
 //                      runs the identical workload on a copy of the seed's
 //                      priority_queue + std::function queue and reports the
 //                      speedup of the slab/4-ary-heap rewrite.
+//   event_churn_parallel  the same actor churn on the deterministic parallel
+//                      engine (sim::ParallelRunner): actors partitioned over
+//                      shards, every 16th re-arm crossing shards through the
+//                      window-barrier mailboxes.  Runs once at --threads=1
+//                      and once at --threads=N, checks the two executions are
+//                      bit-identical in event counts, and reports the
+//                      parallel speedup.
 //   route_throughput   Pastry prefix routing over an oracle-bootstrapped
 //                      overlay: random (source, key) lookups per second.
 //   aggregation_round  one set_local + tick on every node of a cluster-wide
@@ -20,7 +27,14 @@
 // Usage:
 //   perf_core [--sizes=1000,4000,16000] [--out=BENCH_core.json] [--smoke]
 //             [--churn-events=2000000] [--routes=20000] [--agg-rounds=5]
+//             [--threads=N] [--shards=N]
 //             [--trace=<path>] [--metrics=<path>]
+//
+// --threads sets the worker-thread count for event_churn_parallel (the
+// simulated outcome is thread-count-invariant by construction; only the wall
+// clock changes).  --shards sets the spatial partition width and IS part of
+// the workload definition.  Both are recorded in the JSON's top-level
+// "config" block (schema_version 2) together with compiler and build type.
 //
 // --smoke shrinks everything (<=100 servers, small counts) so CI can
 // exercise the harness on every ctest run (the bench_smoke test); smoke
@@ -51,6 +65,7 @@
 #include "pastry/pastry_network.h"
 #include "scribe/scribe_network.h"
 #include "sim/event_queue.h"
+#include "sim/parallel_runner.h"
 #include "sim/simulator.h"
 #include "vbundle/cloud.h"
 #include "workloads/scenario.h"
@@ -183,6 +198,137 @@ ChurnResult bench_event_churn(int servers, std::uint64_t total_events) {
   {
     ChurnDriver<legacy::EventQueue> d;
     r.legacy_seconds = wall_seconds([&] { d.run(servers, total_events, 1234); });
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// event_churn_parallel: the actor churn on the deterministic parallel
+// engine.  Actors are partitioned evenly over shards; each shard's chains
+// re-arm locally, and every 16th re-arm also posts a one-shot event to the
+// next shard through the window-barrier mailboxes (so the measurement pays
+// the real cross-shard tax, not just embarrassing parallelism).  The
+// lookahead is synthetic (no topology here) and the cross-shard post uses a
+// 1.5x margin over it, keeping posts clear of window-grid boundaries.
+
+class ParallelChurn {
+ public:
+  ParallelChurn(sim::ParallelRunner& r, int actors, std::uint64_t total)
+      : runner_(r),
+        shards_(static_cast<std::size_t>(r.num_shards())),
+        actors_per_shard_(std::max(1, actors / r.num_shards())) {
+    int ns = r.num_shards();
+    for (int s = 0; s < ns; ++s) {
+      ShardState& st = shards_[static_cast<std::size_t>(s)];
+      st.target = total / static_cast<std::uint64_t>(ns);
+      st.rng_state = 0x1234 + 0x9E3779B97F4A7C15ULL * static_cast<unsigned>(s);
+    }
+  }
+
+  void start() {
+    for (int s = 0; s < runner_.num_shards(); ++s) {
+      for (int a = 0; a < actors_per_shard_; ++a) {
+        if (shards_[static_cast<std::size_t>(s)].pushed <
+            shards_[static_cast<std::size_t>(s)].target) {
+          arm(s, 0.0);
+        }
+      }
+    }
+  }
+
+  std::uint64_t executed() const {
+    std::uint64_t n = 0;
+    for (const ShardState& st : shards_) n += st.executed;
+    return n;
+  }
+
+ private:
+  struct ShardState {
+    std::uint64_t target = 0;
+    std::uint64_t pushed = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t rng_state = 0;
+    std::uint64_t sink = 0;
+  };
+
+  double next_delay(ShardState& st) {
+    st.rng_state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = st.rng_state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    return 1e-4 * static_cast<double>(1 + (z & 0xFF));
+  }
+
+  void arm(int s, double now) {
+    ShardState& st = shards_[static_cast<std::size_t>(s)];
+    ++st.pushed;
+    Blob b{};
+    b.w[0] = st.pushed;
+    if (st.pushed % 16 == 0 && runner_.num_shards() > 1) {
+      int dst = (s + 1) % runner_.num_shards();
+      double ct = now + runner_.lookahead_s() * 1.5 + next_delay(st);
+      runner_.post(dst, ct, [this, dst, ct, b] { fire(dst, ct, b); });
+    } else {
+      double t = now + next_delay(st);
+      runner_.shard(s).schedule_at(t, [this, s, t, b] { fire(s, t, b); });
+    }
+  }
+
+  void fire(int s, double t, const Blob& b) {
+    ShardState& st = shards_[static_cast<std::size_t>(s)];
+    ++st.executed;
+    st.sink += b.w[0];
+    if (st.pushed < st.target) arm(s, t);
+  }
+
+  sim::ParallelRunner& runner_;
+  std::vector<ShardState> shards_;
+  int actors_per_shard_;
+};
+
+struct ParallelChurnResult {
+  std::uint64_t events = 0;       // executed under --threads=N
+  std::uint64_t cross_posts = 0;  // mailbox traffic under --threads=N
+  double seconds = 0.0;           // wall time at --threads=N
+  double serial_seconds = 0.0;    // same workload at --threads=1
+  bool deterministic = false;     // both executions bit-identical in counts
+};
+
+ParallelChurnResult bench_event_churn_parallel(int servers,
+                                               std::uint64_t total_events,
+                                               int shards, int threads) {
+  constexpr double kLookaheadS = 0.05;
+  ParallelChurnResult r;
+  std::uint64_t serial_events = 0;
+  std::uint64_t serial_posts = 0;
+  {
+    sim::ParallelRunner runner(shards, kLookaheadS, 1);
+    ParallelChurn churn(runner, servers, total_events);
+    r.serial_seconds = wall_seconds([&] {
+      churn.start();
+      runner.run_until(1e9);
+    });
+    serial_events = churn.executed();
+    serial_posts = runner.cross_shard_posts();
+  }
+  {
+    sim::ParallelRunner runner(shards, kLookaheadS, threads);
+    ParallelChurn churn(runner, servers, total_events);
+    r.seconds = wall_seconds([&] {
+      churn.start();
+      runner.run_until(1e9);
+    });
+    r.events = churn.executed();
+    r.cross_posts = runner.cross_shard_posts();
+  }
+  r.deterministic = r.events == serial_events && r.cross_posts == serial_posts;
+  if (!r.deterministic) {
+    std::fprintf(stderr,
+                 "event_churn_parallel: NON-DETERMINISTIC (%llu/%llu events, "
+                 "%llu/%llu posts)\n",
+                 static_cast<unsigned long long>(r.events),
+                 static_cast<unsigned long long>(serial_events),
+                 static_cast<unsigned long long>(r.cross_posts),
+                 static_cast<unsigned long long>(serial_posts));
   }
   return r;
 }
@@ -377,6 +523,12 @@ int main(int argc, char** argv) {
   std::uint64_t routes =
       static_cast<std::uint64_t>(flags.get_int("routes", smoke ? 500 : 20000));
   int agg_rounds = flags.get_int("agg-rounds", smoke ? 2 : 5);
+  int threads = flags.get_int("threads", 1);
+  int shards = flags.get_int("shards", 8);
+  if (threads < 1 || shards < 1) {
+    std::fprintf(stderr, "perf_core: --threads and --shards must be >= 1\n");
+    return 2;
+  }
   // Smoke runs get their own default output so CI never overwrites the
   // committed full-run BENCH_core.json with tiny numbers.
   std::string out_path = flags.get_string(
@@ -390,11 +542,27 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry* metrics =
       metrics_path.empty() ? nullptr : &metrics_reg;
 
+#if defined(__clang__)
+  std::string compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  std::string compiler = std::string("gcc ") + __VERSION__;
+#else
+  std::string compiler = "unknown";
+#endif
+#ifdef VB_BUILD_TYPE
+  std::string build_type = VB_BUILD_TYPE;
+#else
+  std::string build_type = "unknown";
+#endif
+
   std::string json = "{\n";
   json += "  \"bench\": \"perf_core\",\n";
-  json += "  \"schema_version\": 1,\n";
+  json += "  \"schema_version\": 2,\n";
   json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
   json += "  \"timestamp_unix\": " + std::to_string(std::time(nullptr)) + ",\n";
+  json += "  \"config\": {\"threads\": " + std::to_string(threads) +
+          ", \"shards\": " + std::to_string(shards) + ", \"compiler\": \"" +
+          compiler + "\", \"build_type\": \"" + build_type + "\"},\n";
   json += "  \"results\": [\n";
   bool first = true;
   auto emit = [&](const std::string& row) {
@@ -423,6 +591,28 @@ int main(int argc, char** argv) {
          ", \"legacy_seconds\": " + num(c.legacy_seconds) +
          ", \"legacy_events_per_sec\": " + num(leps) +
          ", \"speedup_vs_legacy\": " + num(eps / leps) + "}");
+
+    ParallelChurnResult pc =
+        bench_event_churn_parallel(n, churn_events, shards, threads);
+    double peps = static_cast<double>(pc.events) / pc.seconds;
+    double seps = static_cast<double>(pc.events) / pc.serial_seconds;
+    std::printf(
+        "event_churn_parallel %8.0f ev/s at %d threads (1 thread %10.0f "
+        "ev/s, %.2fx, %s)\n",
+        peps, threads, seps, pc.seconds > 0 ? pc.serial_seconds / pc.seconds : 0.0,
+        pc.deterministic ? "deterministic" : "NON-DETERMINISTIC");
+    emit("{\"name\": \"event_churn_parallel\", \"servers\": " +
+         std::to_string(n) + ", \"threads\": " + std::to_string(threads) +
+         ", \"shards\": " + std::to_string(shards) +
+         ", \"events\": " + std::to_string(pc.events) +
+         ", \"cross_shard_posts\": " + std::to_string(pc.cross_posts) +
+         ", \"seconds\": " + num(pc.seconds) +
+         ", \"events_per_sec\": " + num(peps) +
+         ", \"serial_seconds\": " + num(pc.serial_seconds) +
+         ", \"parallel_speedup\": " + num(pc.serial_seconds / pc.seconds) +
+         ", \"deterministic\": " +
+         std::string(pc.deterministic ? "true" : "false") + "}");
+    if (!pc.deterministic) return 1;
 
     RouteResult rt = bench_route_throughput(n, routes, trace, metrics);
     double rps = static_cast<double>(rt.routes) / rt.seconds;

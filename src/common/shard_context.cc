@@ -1,0 +1,13 @@
+#include "common/shard_context.h"
+
+namespace vb {
+
+namespace {
+thread_local int g_current_shard = -1;
+}  // namespace
+
+int current_shard() noexcept { return g_current_shard; }
+
+void set_current_shard(int shard) noexcept { g_current_shard = shard; }
+
+}  // namespace vb

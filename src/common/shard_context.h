@@ -1,0 +1,23 @@
+// Thread-local shard identity for the parallel simulation engine.
+//
+// Lives in common (not sim) so layers below pastry — notably obs, whose
+// TraceRecorder must route concurrent records into per-shard buffers — can
+// ask "which shard is executing on this thread?" without depending on the
+// engine.  sim::ParallelRunner is the only writer: it brackets every shard
+// window it executes with set_current_shard(shard) / set_current_shard(-1).
+//
+// Outside a shard window (serial code, scenario setup, window barriers)
+// current_shard() returns -1.
+#pragma once
+
+namespace vb {
+
+/// Shard index executing on this thread, or -1 when no sharded window is
+/// active on it.
+int current_shard() noexcept;
+
+/// Engine-internal: brackets shard-window execution.  Application code
+/// should never call this.
+void set_current_shard(int shard) noexcept;
+
+}  // namespace vb

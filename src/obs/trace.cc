@@ -1,17 +1,65 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
+#include "common/shard_context.h"
 #include "obs/json.h"
 
 namespace vb::obs {
 
 TraceRecorder::TraceRecorder(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
-  ring_.reserve(capacity_);
+  rings_.resize(1);
+  rings_[0].cap = capacity_;
+  rings_[0].buf.reserve(capacity_);
+}
+
+void TraceRecorder::enable_sharded(int num_shards) {
+  if (num_shards <= 0) {
+    throw std::invalid_argument("TraceRecorder: num_shards <= 0");
+  }
+  auto n = static_cast<std::size_t>(num_shards);
+  if (sharded_ && rings_.size() == n) return;
+  std::size_t per_ring = capacity_ / n;
+  if (per_ring == 0) per_ring = 1;
+  rings_.assign(n, Ring{});
+  for (Ring& r : rings_) {
+    r.cap = per_ring;
+    r.buf.reserve(per_ring);
+  }
+  sharded_ = true;
+}
+
+TraceRecorder::Ring& TraceRecorder::ring_for_caller() {
+  if (!sharded_) return rings_[0];
+  int s = vb::current_shard();
+  // Shard-less callers (setup code between windows) share ring 0 with
+  // shard 0 — they never run concurrently with it.
+  if (s < 0 || static_cast<std::size_t>(s) >= rings_.size()) s = 0;
+  return rings_[static_cast<std::size_t>(s)];
+}
+
+std::uint64_t TraceRecorder::new_trace_id() {
+  Ring& r = ring_for_caller();
+  if (!sharded_) return r.next_id++;
+  auto shard = static_cast<std::uint64_t>(&r - rings_.data());
+  return ((shard + 1) << 48) | r.next_id++;
+}
+
+void TraceRecorder::record_into(Ring& r, const TraceEvent& e) {
+  ++r.total;
+  if (r.size < r.cap) {
+    r.buf.push_back(e);
+    ++r.size;
+    return;
+  }
+  r.buf[r.head] = e;
+  r.head = (r.head + 1) % r.cap;
 }
 
 void TraceRecorder::record(double ts_s, Phase phase, std::uint64_t trace_id,
@@ -29,30 +77,55 @@ void TraceRecorder::record(double ts_s, Phase phase, std::uint64_t trace_id,
   e.arg0 = arg0;
   e.arg1_name = arg1_name;
   e.arg1 = arg1;
-  ++total_;
-  if (size_ < capacity_) {
-    ring_.push_back(e);
-    ++size_;
-    return;
-  }
-  ring_[head_] = e;
-  head_ = (head_ + 1) % capacity_;
+  record_into(ring_for_caller(), e);
+}
+
+std::size_t TraceRecorder::size() const {
+  std::size_t n = 0;
+  for (const Ring& r : rings_) n += r.size;
+  return n;
+}
+
+std::uint64_t TraceRecorder::total_recorded() const {
+  std::uint64_t n = 0;
+  for (const Ring& r : rings_) n += r.total;
+  return n;
 }
 
 void TraceRecorder::clear() {
-  ring_.clear();
-  head_ = 0;
-  size_ = 0;
-  total_ = 0;
+  for (Ring& r : rings_) {
+    r.buf.clear();
+    r.head = 0;
+    r.size = 0;
+    r.total = 0;
+  }
+}
+
+void TraceRecorder::append_ring(std::vector<TraceEvent>& out,
+                                std::size_t i) const {
+  const Ring& r = rings_[i];
+  for (std::size_t k = 0; k < r.size; ++k) {
+    std::size_t idx = r.size < r.cap ? k : (r.head + k) % r.cap;
+    out.push_back(r.buf[idx]);
+  }
 }
 
 std::vector<TraceEvent> TraceRecorder::snapshot() const {
-  if (size_ < capacity_) return ring_;  // insertion order, no wrap yet
   std::vector<TraceEvent> out;
-  out.reserve(size_);
-  for (std::size_t i = 0; i < size_; ++i) {
-    out.push_back(ring_[(head_ + i) % capacity_]);
+  out.reserve(size());
+  if (rings_.size() == 1) {
+    append_ring(out, 0);  // already oldest-first; equal-ts insertion order
+    return out;
   }
+  // Merge shard rings on (timestamp, shard, position-in-ring).  Rings are
+  // concatenated in shard order and each is chronological (per-shard sim
+  // time is monotonic), so a *stable* sort on timestamp alone leaves
+  // equal-ts events in exactly that canonical tiebreak order — one
+  // deterministic global timeline at any thread count.
+  for (std::size_t i = 0; i < rings_.size(); ++i) append_ring(out, i);
+  std::stable_sort(
+      out.begin(), out.end(),
+      [](const TraceEvent& a, const TraceEvent& b) { return a.ts_s < b.ts_s; });
   return out;
 }
 

@@ -69,9 +69,22 @@ class TraceRecorder {
 
   explicit TraceRecorder(std::size_t capacity = kDefaultCapacity);
 
-  /// Mints a fresh trace id (monotonic, never 0).  Purely local state:
-  /// minting ids does not perturb the simulation.
-  std::uint64_t new_trace_id() { return next_id_++; }
+  /// Switches to per-shard buffers for sharded (ParallelRunner) execution:
+  /// the total capacity is split into `num_shards` independent rings and
+  /// every record()/new_trace_id() call is routed to the calling thread's
+  /// shard (vb::current_shard(); shard-less callers use ring 0), so shard
+  /// workers never contend — or race — on shared recorder state.  Exports
+  /// merge the rings into one deterministic timeline.  Clears any buffered
+  /// events; call before the run (PastryNetwork::enable_sharding does).
+  /// Idempotent for the same shard count.
+  void enable_sharded(int num_shards);
+  bool sharded() const { return sharded_; }
+
+  /// Mints a fresh trace id (never 0).  Purely local state: minting ids
+  /// does not perturb the simulation.  Serial ids are monotonic from 1;
+  /// sharded ids carry the minting shard in the top 16 bits, so id streams
+  /// are deterministic per shard and never collide across shards.
+  std::uint64_t new_trace_id();
 
   void record(double ts_s, Phase phase, std::uint64_t trace_id, int node,
               const char* name, const char* cat,
@@ -98,15 +111,17 @@ class TraceRecorder {
   }
 
   std::size_t capacity() const { return capacity_; }
-  /// Events currently held (<= capacity).
-  std::size_t size() const { return size_; }
+  /// Events currently held (<= capacity), summed over shard rings.
+  std::size_t size() const;
   /// Every record() call ever made, including overwritten ones.
-  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t total_recorded() const;
   /// Events lost to ring wrap-around.
-  std::uint64_t dropped() const { return total_ - size_; }
+  std::uint64_t dropped() const { return total_recorded() - size(); }
   void clear();
 
-  /// Buffered events, oldest first.
+  /// Buffered events, oldest first.  Sharded rings are merged by
+  /// (timestamp, shard, ring position) — a pure function of the recorded
+  /// data, so the exported timeline is identical at any thread count.
   std::vector<TraceEvent> snapshot() const;
 
   // --- export ------------------------------------------------------------
@@ -121,12 +136,26 @@ class TraceRecorder {
   bool write(const std::string& path) const;
 
  private:
-  std::vector<TraceEvent> ring_;
+  // One bounded ring.  Serial mode has exactly one; sharded mode one per
+  // shard.  alignas keeps adjacent shards' hot counters off a shared cache
+  // line.
+  struct alignas(64) Ring {
+    std::vector<TraceEvent> buf;
+    std::size_t cap = 0;
+    std::size_t head = 0;  // next write slot once the ring is full
+    std::size_t size = 0;
+    std::uint64_t total = 0;
+    std::uint64_t next_id = 1;
+  };
+
+  Ring& ring_for_caller();
+  static void record_into(Ring& r, const TraceEvent& e);
+  /// Ring `i`'s buffered events, oldest first.
+  void append_ring(std::vector<TraceEvent>& out, std::size_t i) const;
+
+  std::vector<Ring> rings_;
   std::size_t capacity_;
-  std::size_t head_ = 0;  // next write slot once the ring is full
-  std::size_t size_ = 0;
-  std::uint64_t total_ = 0;
-  std::uint64_t next_id_ = 1;
+  bool sharded_ = false;
 };
 
 }  // namespace vb::obs

@@ -40,6 +40,41 @@ PastryNetwork::PastryNetwork(sim::Simulator* simulator, const net::Topology* top
   }
 }
 
+void PastryNetwork::enable_sharding(sim::ParallelRunner* runner,
+                                    std::vector<int> shard_of_host) {
+  if (runner == nullptr) {
+    runner_ = nullptr;
+    shard_of_host_.clear();
+    return;
+  }
+  if (static_cast<int>(shard_of_host.size()) != topo_->num_hosts()) {
+    throw std::invalid_argument("enable_sharding: bad shard map size");
+  }
+  for (int s : shard_of_host) {
+    if (s < 0 || s >= runner->num_shards()) {
+      throw std::invalid_argument("enable_sharding: shard index out of range");
+    }
+  }
+  // The conservative-window contract: every cross-shard link must be at
+  // least one lookahead long, or post() would be asked to schedule into the
+  // current window.  Fail loudly at setup rather than mid-run.
+  if (runner->lookahead_s() >
+      topo_->min_cross_shard_latency_s(shard_of_host)) {
+    throw std::invalid_argument(
+        "enable_sharding: lookahead exceeds the minimum cross-shard latency");
+  }
+  runner_ = runner;
+  shard_of_host_ = std::move(shard_of_host);
+  if (trace_ != nullptr) trace_->enable_sharded(runner_->num_shards());
+}
+
+void PastryNetwork::set_trace(obs::TraceRecorder* t) {
+  trace_ = t;
+  if (trace_ != nullptr && runner_ != nullptr) {
+    trace_->enable_sharded(runner_->num_shards());
+  }
+}
+
 PastryNetwork::Entry& PastryNetwork::entry_of(const U128& id) {
   auto it = nodes_.find(id);
   if (it == nodes_.end()) {
@@ -154,7 +189,8 @@ NodeHandle PastryNetwork::global_closest(const U128& key) const {
 }
 
 sim::FaultDecision PastryNetwork::consult_fault_plan(const NodeHandle& from,
-                                                     const NodeHandle& to) {
+                                                     const NodeHandle& to,
+                                                     Entry& sender) {
   if (fault_plan_ == nullptr) return {};
   sim::FaultEndpoints ep;
   ep.src_host = static_cast<int>(from.host);
@@ -163,6 +199,13 @@ sim::FaultDecision PastryNetwork::consult_fault_plan(const NodeHandle& from,
   ep.dst_rack = topo_->rack_of(to.host);
   ep.src_pod = topo_->pod_of(from.host);
   ep.dst_pod = topo_->pod_of(to.host);
+  if (runner_ != nullptr) {
+    // Sharded mode: the plan's sequential Rng would be drawn in a
+    // thread-dependent order (and raced outright).  Key the verdict by
+    // (sender node, per-sender ordinal) instead — order-free, replayable.
+    return fault_plan_->decide_keyed(now_for(from.host), ep, from.id.lo(),
+                                     sender.fault_seq++);
+  }
   return fault_plan_->decide(sim_->now(), ep);
 }
 
@@ -173,11 +216,12 @@ void PastryNetwork::send_route(const NodeHandle& from, const NodeHandle& to,
   if (!sender.alive) return;
   sender.counters.add(msg.category,
                       msg.payload ? msg.payload->wire_bytes() : 16);
-  sim::FaultDecision fault = consult_fault_plan(from, to);
+  sim::Simulator& src_sim = simulator_for(from.host);
+  sim::FaultDecision fault = consult_fault_plan(from, to, sender);
   if (fault.drop) {
     sender.counters.fault_dropped_msgs += 1;
     if (trace_ != nullptr) {
-      trace_->instant(sim_->now(), msg.trace_id, static_cast<int>(from.host),
+      trace_->instant(src_sim.now(), msg.trace_id, static_cast<int>(from.host),
                       fault.partitioned ? "fault.partition_drop" : "fault.drop",
                       "fault", "dst_host", static_cast<double>(to.host));
     }
@@ -196,20 +240,43 @@ void PastryNetwork::send_route(const NodeHandle& from, const NodeHandle& to,
       // timeout-like delay (one more latency unit).
       auto sit = nodes_.find(from_id);
       if (sit == nodes_.end() || !sit->second.alive) return;
-      sit->second.node->handle_send_failure(to_handle, &m);
+      PastryNode& snode = *sit->second.node;
+      if (runner_ != nullptr &&
+          shard_of(snode.handle().host) != vb::current_shard()) {
+        // The bounce crosses shards: hand it back on the sender's own shard
+        // one link latency later (>= lookahead by the sharding contract).
+        runner_->post(
+            shard_of(snode.handle().host),
+            simulator_for(to_handle.host).now() +
+                topo_->latency_s(to_handle.host, snode.handle().host),
+            [this, from_id, to_handle, m = std::move(m)]() mutable {
+              auto s2 = nodes_.find(from_id);
+              if (s2 == nodes_.end() || !s2->second.alive) return;
+              s2->second.node->handle_send_failure(to_handle, &m);
+            });
+        return;
+      }
+      snode.handle_send_failure(to_handle, &m);
       return;
     }
     it->second.node->handle_route_msg(std::move(m));
   };
+  bool cross = runner_ != nullptr && shard_of(from.host) != shard_of(to.host);
   if (fault.duplicate) {
     sender.counters.fault_dup_msgs += 1;
     if (trace_ != nullptr) {
-      trace_->instant(sim_->now(), msg.trace_id, static_cast<int>(from.host),
+      trace_->instant(src_sim.now(), msg.trace_id, static_cast<int>(from.host),
                       "fault.dup", "fault", "dst_host",
                       static_cast<double>(to.host));
     }
-    sim_->schedule_in(lat + fault.dup_extra_delay_s,
-                      [deliver, m = msg]() mutable { deliver(std::move(m)); });
+    auto dup = [deliver, m = msg]() mutable { deliver(std::move(m)); };
+    if (cross) {
+      runner_->post(shard_of(to.host),
+                    src_sim.now() + lat + fault.dup_extra_delay_s,
+                    std::move(dup));
+    } else {
+      src_sim.schedule_in(lat + fault.dup_extra_delay_s, std::move(dup));
+    }
   }
   auto primary = [deliver, m = std::move(msg)]() mutable {
     deliver(std::move(m));
@@ -218,7 +285,12 @@ void PastryNetwork::send_route(const NodeHandle& from, const NodeHandle& to,
   // the EventFn inline buffer every hop heap-allocates (~15% throughput).
   static_assert(sizeof(primary) <= sim::EventFn::inline_capacity(),
                 "route-hop closure must stay inline; grow kDefaultInlineBytes");
-  sim_->schedule_in(lat + fault.extra_delay_s, std::move(primary));
+  if (cross) {
+    runner_->post(shard_of(to.host), src_sim.now() + lat + fault.extra_delay_s,
+                  std::move(primary));
+  } else {
+    src_sim.schedule_in(lat + fault.extra_delay_s, std::move(primary));
+  }
 }
 
 void PastryNetwork::send_direct(const NodeHandle& from, const NodeHandle& to,
@@ -226,11 +298,12 @@ void PastryNetwork::send_direct(const NodeHandle& from, const NodeHandle& to,
   Entry& sender = entry_of(from.id);
   if (!sender.alive) return;
   sender.counters.add(category, payload ? payload->wire_bytes() : 16);
-  sim::FaultDecision fault = consult_fault_plan(from, to);
+  sim::Simulator& src_sim = simulator_for(from.host);
+  sim::FaultDecision fault = consult_fault_plan(from, to, sender);
   if (fault.drop) {
     sender.counters.fault_dropped_msgs += 1;
     if (trace_ != nullptr) {
-      trace_->instant(sim_->now(), payload ? payload->trace_id() : 0,
+      trace_->instant(src_sim.now(), payload ? payload->trace_id() : 0,
                       static_cast<int>(from.host),
                       fault.partitioned ? "fault.partition_drop" : "fault.drop",
                       "fault", "dst_host", static_cast<double>(to.host));
@@ -250,21 +323,46 @@ void PastryNetwork::send_direct(const NodeHandle& from, const NodeHandle& to,
     if (it == nodes_.end() || !it->second.alive) {
       auto sit = nodes_.find(from_id);
       if (sit == nodes_.end() || !sit->second.alive) return;
-      sit->second.node->handle_send_failure(to_handle, nullptr);
+      PastryNode& snode = *sit->second.node;
+      if (runner_ != nullptr &&
+          shard_of(snode.handle().host) != vb::current_shard()) {
+        runner_->post(
+            shard_of(snode.handle().host),
+            simulator_for(to_handle.host).now() +
+                topo_->latency_s(to_handle.host, snode.handle().host),
+            [this, from_id, to_handle]() {
+              auto s2 = nodes_.find(from_id);
+              if (s2 == nodes_.end() || !s2->second.alive) return;
+              s2->second.node->handle_send_failure(to_handle, nullptr);
+            });
+        return;
+      }
+      snode.handle_send_failure(to_handle, nullptr);
       return;
     }
     it->second.node->handle_direct_msg(from_handle, p, category);
   };
+  bool cross = runner_ != nullptr && shard_of(from.host) != shard_of(to.host);
   if (fault.duplicate) {
     sender.counters.fault_dup_msgs += 1;
     if (trace_ != nullptr) {
-      trace_->instant(sim_->now(), payload_trace, static_cast<int>(from.host),
+      trace_->instant(src_sim.now(), payload_trace, static_cast<int>(from.host),
                       "fault.dup", "fault", "dst_host",
                       static_cast<double>(to.host));
     }
-    sim_->schedule_in(lat + fault.dup_extra_delay_s, deliver);
+    if (cross) {
+      runner_->post(shard_of(to.host),
+                    src_sim.now() + lat + fault.dup_extra_delay_s, deliver);
+    } else {
+      src_sim.schedule_in(lat + fault.dup_extra_delay_s, deliver);
+    }
   }
-  sim_->schedule_in(lat + fault.extra_delay_s, std::move(deliver));
+  if (cross) {
+    runner_->post(shard_of(to.host), src_sim.now() + lat + fault.extra_delay_s,
+                  std::move(deliver));
+  } else {
+    src_sim.schedule_in(lat + fault.extra_delay_s, std::move(deliver));
+  }
 }
 
 const TrafficCounters& PastryNetwork::counters(const U128& id) const {

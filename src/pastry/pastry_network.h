@@ -15,6 +15,7 @@
 #include "net/topology.h"
 #include "pastry/pastry_node.h"
 #include "sim/fault_plan.h"
+#include "sim/parallel_runner.h"
 #include "sim/simulator.h"
 
 namespace vb::obs {
@@ -104,8 +105,9 @@ class PastryNetwork {
   /// Attaches a trace recorder; nullptr (the default) detaches.  Recording
   /// is passive — it never schedules events or draws randomness — so sim
   /// outcomes are bit-identical with tracing on or off, and the hot paths
-  /// pay a single null-pointer test when tracing is disabled.
-  void set_trace(obs::TraceRecorder* t) { trace_ = t; }
+  /// pay a single null-pointer test when tracing is disabled.  In sharded
+  /// mode the recorder is switched to per-shard buffers automatically.
+  void set_trace(obs::TraceRecorder* t);
   obs::TraceRecorder* trace() const { return trace_; }
 
   /// Pushes transport roll-ups into `reg` as `pastry.*` / `fault.*` series:
@@ -121,13 +123,47 @@ class PastryNetwork {
   void reset_counters();
   std::uint64_t total_msgs() const;
 
-  /// Number of hops the most recent delivered route took (test aid):
-  /// updated by PastryNode on delivery.
-  void note_delivery_hops(int hops) { last_delivery_hops_ = hops; }
+  /// Number of hops the most recent delivered route took (test aid).
+  /// Serial mode only — in sharded mode concurrent deliveries would race on
+  /// one slot, so the note becomes a no-op.
+  void note_delivery_hops(int hops) {
+    if (runner_ == nullptr) last_delivery_hops_ = hops;
+  }
   int last_delivery_hops() const { return last_delivery_hops_; }
 
   sim::Simulator& simulator() { return *sim_; }
   const net::Topology& topology() const { return *topo_; }
+
+  // --- sharded (parallel) mode -------------------------------------------
+  /// Switches the transport into ParallelRunner mode: host h's node stack
+  /// belongs to shard `shard_of_host[h]`, every node event (delivery,
+  /// retransmit timer, trace stamp) runs on that shard's simulator, and
+  /// sends between hosts in different shards travel through the runner's
+  /// mailboxes.  Requirements (see docs/ARCHITECTURE.md, "Sharding
+  /// contract"):
+  ///   * call after nodes exist (oracle bootstrap) and before any traffic;
+  ///   * the map must be rack-aligned and runner->lookahead_s() must not
+  ///     exceed Topology::min_cross_shard_latency_s(map) — verified here;
+  ///   * membership changes (kill/depart/add) only between run_until calls;
+  ///   * an attached FaultPlan is consulted via decide_keyed — verdicts are
+  ///     a pure function of (plan seed, sender node, per-sender ordinal),
+  ///     so chaos replays bit-identically at any thread count.
+  void enable_sharding(sim::ParallelRunner* runner,
+                       std::vector<int> shard_of_host);
+  bool sharded() const { return runner_ != nullptr; }
+  int shard_of(net::HostId h) const {
+    return runner_ == nullptr
+               ? 0
+               : shard_of_host_[static_cast<std::size_t>(h)];
+  }
+
+  /// The simulator that drives host `h` — its shard's in sharded mode, the
+  /// global one otherwise.  All per-node scheduling and now() reads go
+  /// through this so node code is oblivious to the execution mode.
+  sim::Simulator& simulator_for(net::HostId h) {
+    return runner_ == nullptr ? *sim_ : runner_->shard(shard_of(h));
+  }
+  double now_for(net::HostId h) { return simulator_for(h).now(); }
 
   /// Runs one stabilization round on every live node (benches call this
   /// between protocol phases to mimic Pastry's periodic maintenance).
@@ -137,21 +173,27 @@ class PastryNetwork {
   struct Entry {
     std::unique_ptr<PastryNode> node;
     TrafficCounters counters;
+    /// Per-sender message ordinal — the counter half of the keyed fault
+    /// stream in sharded mode.  Only the sender's own shard touches it.
+    std::uint64_t fault_seq = 0;
     bool alive = true;
   };
 
   Entry& entry_of(const U128& id);
 
   /// Consults the fault plan (if any) for one message from→to.  Returns the
-  /// default no-fault decision when no plan is attached.
+  /// default no-fault decision when no plan is attached.  `sender` supplies
+  /// the keyed-stream ordinal in sharded mode.
   sim::FaultDecision consult_fault_plan(const NodeHandle& from,
-                                        const NodeHandle& to);
+                                        const NodeHandle& to, Entry& sender);
 
   sim::Simulator* sim_;
   const net::Topology* topo_;
   std::map<U128, Entry> nodes_;  // ordered: gives ring order for oracle ops
   sim::FaultPlan* fault_plan_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
+  sim::ParallelRunner* runner_ = nullptr;  // non-null = sharded mode
+  std::vector<int> shard_of_host_;
   int last_delivery_hops_ = 0;
 };
 

@@ -36,7 +36,7 @@ void PastryNode::route(const U128& key, PayloadPtr payload,
     // being routed), else mint a fresh id for this route.
     std::uint64_t payload_trace = msg.payload ? msg.payload->trace_id() : 0;
     msg.trace_id = payload_trace != 0 ? payload_trace : tr->new_trace_id();
-    tr->begin(network_->simulator().now(), msg.trace_id,
+    tr->begin(network_->simulator_for(handle_.host).now(), msg.trace_id,
               static_cast<int>(handle_.host), "pastry.route", "pastry");
   }
   handle_route_msg(std::move(msg));
@@ -60,7 +60,7 @@ void PastryNode::send_reliable(const NodeHandle& dest, PayloadPtr payload,
     // chain id when it has one so the reliable hop nests in its chain.
     std::uint64_t inner_trace = env->inner ? env->inner->trace_id() : 0;
     env->trace = inner_trace != 0 ? inner_trace : tr->new_trace_id();
-    tr->instant(network_->simulator().now(), env->trace,
+    tr->instant(network_->simulator_for(handle_.host).now(), env->trace,
                 static_cast<int>(handle_.host), "rel.send", "reliable", "seq",
                 static_cast<double>(env->seq));
   }
@@ -69,7 +69,7 @@ void PastryNode::send_reliable(const NodeHandle& dest, PayloadPtr payload,
   pending.dest = dest;
   pending.envelope = env;
   std::uint64_t seq = env->seq;
-  pending.timer = network_->simulator().schedule_in(
+  pending.timer = network_->simulator_for(handle_.host).schedule_in(
       pending.rto_s, [this, seq]() { retransmit_reliable(seq); });
   pending_reliable_.emplace(seq, std::move(pending));
 
@@ -89,10 +89,10 @@ void PastryNode::retransmit_reliable(std::uint64_t seq) {
   }
   p.attempts += 1;
   p.rto_s = std::min(p.rto_s * 2.0, kReliableMaxRtoS);
-  p.timer = network_->simulator().schedule_in(
+  p.timer = network_->simulator_for(handle_.host).schedule_in(
       p.rto_s, [this, seq]() { retransmit_reliable(seq); });
   if (obs::TraceRecorder* tr = network_->trace()) {
-    tr->instant(network_->simulator().now(), p.envelope->trace_id(),
+    tr->instant(network_->simulator_for(handle_.host).now(), p.envelope->trace_id(),
                 static_cast<int>(handle_.host), "rel.retransmit", "reliable",
                 "seq", static_cast<double>(seq), "attempt",
                 static_cast<double>(p.attempts));
@@ -103,7 +103,7 @@ void PastryNode::retransmit_reliable(std::uint64_t seq) {
 void PastryNode::fail_pending_reliable_to(const NodeHandle& dead) {
   for (auto it = pending_reliable_.begin(); it != pending_reliable_.end();) {
     if (it->second.dest.id == dead.id) {
-      network_->simulator().cancel(it->second.timer);
+      network_->simulator_for(handle_.host).cancel(it->second.timer);
       it = pending_reliable_.erase(it);
     } else {
       ++it;
@@ -251,7 +251,7 @@ void PastryNode::handle_route_msg(RouteMsg msg) {
     }
     network_->note_delivery_hops(msg.hops);
     if (obs::TraceRecorder* tr = network_->trace()) {
-      tr->end(network_->simulator().now(), msg.trace_id,
+      tr->end(network_->simulator_for(handle_.host).now(), msg.trace_id,
               static_cast<int>(handle_.host), "pastry.route", "pastry", "hops",
               static_cast<double>(msg.hops));
     }
@@ -265,7 +265,7 @@ void PastryNode::handle_route_msg(RouteMsg msg) {
     }
   }
   if (obs::TraceRecorder* tr = network_->trace()) {
-    tr->instant(network_->simulator().now(), msg.trace_id,
+    tr->instant(network_->simulator_for(handle_.host).now(), msg.trace_id,
                 static_cast<int>(handle_.host), "pastry.hop", "pastry", "hop",
                 static_cast<double>(msg.hops), "next_host",
                 static_cast<double>(next.host));
@@ -298,13 +298,13 @@ void PastryNode::handle_direct_msg(const NodeHandle& from,
     auto it = pending_reliable_.find(ack->seq);
     if (it != pending_reliable_.end()) {
       if (obs::TraceRecorder* tr = network_->trace()) {
-        tr->instant(network_->simulator().now(),
+        tr->instant(network_->simulator_for(handle_.host).now(),
                     it->second.envelope->trace_id(),
                     static_cast<int>(handle_.host), "rel.acked", "reliable",
                     "seq", static_cast<double>(ack->seq), "attempts",
                     static_cast<double>(it->second.attempts));
       }
-      network_->simulator().cancel(it->second.timer);
+      network_->simulator_for(handle_.host).cancel(it->second.timer);
       pending_reliable_.erase(it);
     }
     return;

@@ -1,0 +1,217 @@
+#include "sim/parallel_runner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace vb::sim {
+
+namespace {
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+}  // namespace
+
+ParallelRunner::ParallelRunner(int num_shards, SimTime lookahead_s, int threads)
+    : lookahead_(lookahead_s) {
+  if (num_shards <= 0) {
+    throw std::invalid_argument("ParallelRunner: num_shards <= 0");
+  }
+  if (!(lookahead_s > 0.0)) {
+    throw std::invalid_argument("ParallelRunner: lookahead must be > 0");
+  }
+  threads_ = std::max(1, std::min(threads, num_shards));
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (threads_ > 1) start_pool();
+}
+
+ParallelRunner::~ParallelRunner() { stop_pool(); }
+
+SimTime ParallelRunner::earliest_pending() {
+  SimTime next = kInf;
+  for (auto& s : shards_) {
+    if (!s->sim.idle()) next = std::min(next, s->sim.peek_next_time());
+  }
+  return next;
+}
+
+std::uint64_t ParallelRunner::shard_seed(std::uint64_t master_seed, int shard) {
+  // splitmix64 finalizer over (master, shard): decorrelates adjacent shards
+  // and adjacent master seeds.  Pure function of the partition index.
+  std::uint64_t z = master_seed +
+                    0x9E3779B97F4A7C15ULL *
+                        (static_cast<std::uint64_t>(shard) + 0x51ED270B9ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+bool ParallelRunner::idle() const {
+  for (const auto& s : shards_) {
+    if (!s->sim.idle()) return false;
+  }
+  return true;
+}
+
+std::uint64_t ParallelRunner::events_executed() const {
+  std::uint64_t t = 0;
+  for (const auto& s : shards_) t += s->sim.events_executed();
+  return t;
+}
+
+std::uint64_t ParallelRunner::events_scheduled() const {
+  std::uint64_t t = 0;
+  for (const auto& s : shards_) t += s->sim.events_scheduled();
+  return t;
+}
+
+std::uint64_t ParallelRunner::events_cancelled() const {
+  std::uint64_t t = 0;
+  for (const auto& s : shards_) t += s->sim.events_cancelled();
+  return t;
+}
+
+void ParallelRunner::run_worker_slice(int w, SimTime end, bool inclusive) {
+  // Static shard->worker assignment.  Which worker runs a shard has no
+  // bearing on results; only the per-shard drain order does.
+  for (int i = w; i < num_shards(); i += threads_) {
+    Shard& s = *shards_[static_cast<std::size_t>(i)];
+    vb::set_current_shard(i);
+    try {
+      s.sim.run_window(end, inclusive);
+    } catch (...) {
+      if (!s.error) s.error = std::current_exception();
+    }
+    vb::set_current_shard(-1);
+  }
+}
+
+void ParallelRunner::run_window_all(SimTime end, bool inclusive) {
+  ++windows_run_;
+  if (threads_ == 1) {
+    run_worker_slice(0, end, inclusive);
+  } else {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      pool_window_end_ = end;
+      pool_inclusive_ = inclusive;
+      workers_busy_ = threads_ - 1;
+      ++work_generation_;
+    }
+    cv_work_.notify_all();
+    run_worker_slice(0, end, inclusive);  // caller doubles as worker 0
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return workers_busy_ == 0; });
+  }
+  // Rethrow the lowest-shard failure deterministically.
+  for (auto& s : shards_) {
+    if (s->error) {
+      std::exception_ptr e = s->error;
+      s->error = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void ParallelRunner::drain_mailboxes() {
+  // Collect every outbox entry, stamp it with its source shard, and push
+  // in canonical (time, src_shard, post_seq) order.  Destination queues
+  // break equal-time ties by push order, so this order — not thread
+  // scheduling — decides every cross-shard race.
+  struct Tagged {
+    SimTime t;
+    int src;
+    std::uint64_t seq;
+    int dst;
+    EventFn fn;
+  };
+  std::vector<Tagged> all;
+  for (int i = 0; i < num_shards(); ++i) {
+    Shard& s = *shards_[static_cast<std::size_t>(i)];
+    for (Envelope& e : s.outbox) {
+      all.push_back(Tagged{e.t, i, e.seq, e.dst, std::move(e.fn)});
+    }
+    s.outbox.clear();
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  for (Tagged& e : all) {
+    shard(e.dst).schedule_at(e.t, std::move(e.fn));
+  }
+  posts_drained_ += all.size();
+}
+
+void ParallelRunner::run_until(SimTime t) {
+  if (t < now_) {
+    throw std::invalid_argument("ParallelRunner: run_until into the past");
+  }
+  while (true) {
+    SimTime next = earliest_pending();
+    if (next > t) break;
+    // Window grid is absolute: [k*L, (k+1)*L).  Jump straight to the
+    // window holding the earliest pending event; the grid (a pure function
+    // of event times and L) keeps boundaries identical across runs and
+    // thread counts.
+    auto k = static_cast<std::int64_t>(next / lookahead_);
+    while ((static_cast<SimTime>(k) + 1.0) * lookahead_ <= next) ++k;
+    SimTime end = (static_cast<SimTime>(k) + 1.0) * lookahead_;
+    window_end_ = end;  // post() lower bound, also for the final partial window
+    bool final_window = end > t;
+    run_window_all(final_window ? t : end, final_window);
+    drain_mailboxes();
+    if (final_window) break;
+  }
+  // Advance idle shards (and shards that stopped short) to the horizon so
+  // every clock agrees with now().
+  for (auto& s : shards_) {
+    if (s->sim.now() < t) s->sim.run_window(t, true);
+  }
+  now_ = t;
+  window_end_ = t;
+}
+
+void ParallelRunner::start_pool() {
+  pool_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    pool_.emplace_back([this, w] { pool_main(w); });
+  }
+}
+
+void ParallelRunner::stop_pool() {
+  if (pool_.empty()) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    pool_stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& th : pool_) th.join();
+  pool_.clear();
+}
+
+void ParallelRunner::pool_main(int worker) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    SimTime end;
+    bool inclusive;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] {
+        return pool_stop_ || work_generation_ != seen_generation;
+      });
+      if (pool_stop_) return;
+      seen_generation = work_generation_;
+      end = pool_window_end_;
+      inclusive = pool_inclusive_;
+    }
+    run_worker_slice(worker, end, inclusive);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--workers_busy_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace vb::sim

@@ -1,0 +1,184 @@
+// Deterministic parallel execution of sharded discrete-event simulations.
+//
+// The single-owner clock of sim::Simulator caps every large experiment at
+// one core.  ParallelRunner converts that into an explicit sharding
+// contract, exploiting the classic conservative-lookahead condition of
+// parallel DES: hosts interact only through messages with nonzero link
+// latency, so a shard can safely run `lookahead` seconds ahead of its peers
+// without ever receiving an event "from the past".
+//
+// The contract (also documented in docs/ARCHITECTURE.md):
+//
+//   * State is partitioned into shards.  Shard-local state may be touched
+//     only by events executing on that shard's queue.
+//   * Time advances in conservative windows on the absolute grid
+//     [k*L, (k+1)*L), L = lookahead = the minimum cross-shard link latency.
+//     Within a window every shard drains its own queue independently (in
+//     parallel); events at exactly a window boundary fire in the next
+//     window.
+//   * Cross-shard communication goes through post(): the event is appended
+//     to the posting shard's outbox and must be timestamped at or beyond
+//     the current window's end (guaranteed when the message latency is
+//     >= lookahead; enforced with an exception otherwise).
+//   * At each window barrier a single thread drains all outboxes in the
+//     canonical order (time, src_shard, post_seq) and pushes the events
+//     into their destination shards.  Destination queues break ties by
+//     (time, push order), so the merged order — and therefore the entire
+//     run — is a pure function of the shard partition, independent of the
+//     worker-thread count.
+//
+// A run with T worker threads is bit-identical to the same run with 1
+// thread *by construction*: threads only decide which OS core executes a
+// shard's window, never the order of events inside a shard or across the
+// barrier.  tests/sim/parallel_runner_test.cc and the serial-vs-parallel
+// cases in tests/sim/determinism_test.cc lock this in.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/shard_context.h"
+#include "sim/simulator.h"
+
+namespace vb::sim {
+
+class ParallelRunner {
+ public:
+  /// `num_shards` logical partitions, windows of `lookahead_s` simulated
+  /// seconds, executed by `threads` OS threads (clamped to [1, num_shards]).
+  /// The shard count is part of the run's semantics; the thread count is
+  /// not — change `threads` freely, results are bit-identical.
+  ParallelRunner(int num_shards, SimTime lookahead_s, int threads = 1);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int threads() const { return threads_; }
+  SimTime lookahead_s() const { return lookahead_; }
+
+  /// The shard's own simulator.  Schedule setup events and shard-local
+  /// follow-ups here; during a window only shard `i`'s worker may touch it.
+  Simulator& shard(int i) { return shards_[static_cast<std::size_t>(i)]->sim; }
+  const Simulator& shard(int i) const {
+    return shards_[static_cast<std::size_t>(i)]->sim;
+  }
+
+  /// Global simulated time reached by run_until (all shards agree on it at
+  /// every barrier).
+  SimTime now() const { return now_; }
+
+  /// Cross-shard event: `fn` runs on shard `dst_shard` at absolute time `t`.
+  ///
+  /// From inside a shard window, `t` must be at or beyond the current
+  /// window's end — i.e. the message latency must be >= lookahead — or the
+  /// conservative contract is broken and this throws.  The event is drained
+  /// at the next barrier in (time, src_shard, post_seq) order.  Outside a
+  /// window (setup code, current_shard() == -1) it is pushed directly.
+  template <class F>
+  void post(int dst_shard, SimTime t, F&& fn) {
+    if (dst_shard < 0 || dst_shard >= num_shards()) {
+      throw std::out_of_range("ParallelRunner::post: bad shard");
+    }
+    int src = vb::current_shard();
+    if (src < 0) {
+      shard(dst_shard).schedule_at(t, std::forward<F>(fn));
+      return;
+    }
+    if (t < window_end_) {
+      throw std::logic_error(
+          "ParallelRunner::post: event below the lookahead window — "
+          "cross-shard latency must be >= lookahead");
+    }
+    Shard& s = *shards_[static_cast<std::size_t>(src)];
+    s.outbox.push_back(
+        Envelope{t, s.next_post_seq++, dst_shard, EventFn(std::forward<F>(fn))});
+  }
+
+  /// Runs all shards to time `t` (events at exactly `t` fire, matching
+  /// Simulator::run_until), alternating parallel windows and sequential
+  /// mailbox barriers.  Resumable: call again with a later `t`.
+  void run_until(SimTime t);
+
+  /// True if no shard holds a pending event (outboxes are always drained
+  /// when run_until returns).
+  bool idle() const;
+
+  // --- aggregate accounting (summed over shards) -------------------------
+  std::uint64_t events_executed() const;
+  std::uint64_t events_scheduled() const;
+  std::uint64_t events_cancelled() const;
+  /// Cross-shard events delivered through mailboxes so far.
+  std::uint64_t cross_shard_posts() const { return posts_drained_; }
+  /// Conservative windows executed so far.
+  std::uint64_t windows_run() const { return windows_run_; }
+
+  /// Deterministic per-shard RNG stream seed: a splitmix64-style mix of
+  /// (master_seed, shard).  Streams are a function of the shard partition
+  /// only, never of the thread count — the replay contract for seeded
+  /// chaos under parallel execution.
+  static std::uint64_t shard_seed(std::uint64_t master_seed, int shard);
+
+ private:
+  struct Envelope {
+    SimTime t = 0.0;
+    std::uint64_t seq = 0;  // per-src post order
+    int dst = -1;
+    EventFn fn;
+  };
+
+  // Shards are heap-allocated so Simulator (non-movable) stays put and
+  // false sharing between adjacent shards' hot state is impossible.
+  struct Shard {
+    Simulator sim;
+    std::vector<Envelope> outbox;   // written only by this shard's worker
+    std::uint64_t next_post_seq = 0;
+    std::exception_ptr error;       // first event exception, rethrown at barrier
+  };
+
+  /// Earliest pending event time across shards (+inf when idle).
+  SimTime earliest_pending();
+  /// Runs one window on every shard, on the worker pool when threads_ > 1.
+  void run_window_all(SimTime end, bool inclusive);
+  /// Executes the shards assigned to worker `w` for the current window.
+  void run_worker_slice(int w, SimTime end, bool inclusive);
+  /// Sequential barrier: drains all outboxes in canonical order.
+  void drain_mailboxes();
+
+  void start_pool();
+  void stop_pool();
+  void pool_main(int worker);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  SimTime lookahead_;
+  int threads_;
+  SimTime now_ = 0.0;
+  SimTime window_end_ = 0.0;  // current window's end; post() lower bound
+  std::uint64_t posts_drained_ = 0;
+  std::uint64_t windows_run_ = 0;
+
+  // Worker pool (created only when threads_ > 1).  The run_until caller
+  // doubles as worker 0; workers 1..threads_-1 live here.  All handshakes
+  // go through mu_/cv_, which also establishes the happens-before edges
+  // that make outbox writes visible to the barrier and mailbox pushes
+  // visible to the next window.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> pool_;
+  std::uint64_t work_generation_ = 0;
+  int workers_busy_ = 0;
+  SimTime pool_window_end_ = 0.0;
+  bool pool_inclusive_ = false;
+  bool pool_stop_ = false;
+};
+
+}  // namespace vb::sim

@@ -200,7 +200,7 @@ void VBundleAgent::try_shed() {
   if (obs::TraceRecorder* tr = node_->network().trace()) {
     trace = tr->new_trace_id();
     q->trace = trace;
-    tr->begin(node_->network().simulator().now(), trace,
+    tr->begin(node_->network().simulator_for(node_->host()).now(), trace,
               static_cast<int>(node_->handle().host), "vbundle.shuffle",
               "vbundle", "vm", static_cast<double>(vm));
   }
@@ -209,13 +209,13 @@ void VBundleAgent::try_shed() {
   // retransmission), declare the query dead and move on.  The seq guard
   // makes stale timers no-ops, so nothing needs cancelling.
   std::uint64_t seq = query_seq_;
-  node_->network().simulator().schedule_in(
+  node_->network().simulator_for(node_->host()).schedule_in(
       cfg_->query_timeout_s, [this, seq, trace]() {
         if (!query_in_flight_ || seq != query_seq_) return;
         query_in_flight_ = false;
         ++stats_.query_timeouts;
         if (obs::TraceRecorder* tr = node_->network().trace()) {
-          tr->end(node_->network().simulator().now(), trace,
+          tr->end(node_->network().simulator_for(node_->host()).now(), trace,
                   static_cast<int>(node_->handle().host), "vbundle.shuffle",
                   "vbundle", "timeout", 1.0);
         }
@@ -273,8 +273,8 @@ bool VBundleAgent::on_anycast(scribe::ScribeNode& self,
     // We already hold for this VM from an earlier accept whose reply never
     // reached the shedder; re-accept reusing the hold (no double-charge)
     // and re-arm the lease.
-    node_->network().simulator().cancel(it->second.lease);
-    it->second.lease = node_->network().simulator().schedule_in(
+    node_->network().simulator_for(node_->host()).cancel(it->second.lease);
+    it->second.lease = node_->network().simulator_for(node_->host()).schedule_in(
         cfg_->accept_hold_lease_s, [this, vm = q->vm]() {
           if (!pending_accepts_.contains(vm)) return;
           ++stats_.lease_expiries;
@@ -282,7 +282,7 @@ bool VBundleAgent::on_anycast(scribe::ScribeNode& self,
         });
     ++stats_.queries_accepted;
     if (obs::TraceRecorder* tr = node_->network().trace()) {
-      tr->instant(node_->network().simulator().now(), q->trace,
+      tr->instant(node_->network().simulator_for(node_->host()).now(), q->trace,
                   static_cast<int>(node_->handle().host), "shuffle.hold",
                   "vbundle", "vm", static_cast<double>(q->vm), "reused", 1.0);
     }
@@ -295,7 +295,7 @@ bool VBundleAgent::on_anycast(scribe::ScribeNode& self,
   pending.spec = q->spec;
   pending.demand_mbps = q->demand_mbps;
   pending.cpu_demand = q->cpu_demand;
-  pending.lease = node_->network().simulator().schedule_in(
+  pending.lease = node_->network().simulator_for(node_->host()).schedule_in(
       cfg_->accept_hold_lease_s, [this, vm = q->vm]() {
         if (!pending_accepts_.contains(vm)) return;
         ++stats_.lease_expiries;
@@ -304,7 +304,7 @@ bool VBundleAgent::on_anycast(scribe::ScribeNode& self,
   pending_accepts_.emplace(q->vm, pending);
   ++stats_.queries_accepted;
   if (obs::TraceRecorder* tr = node_->network().trace()) {
-    tr->instant(node_->network().simulator().now(), q->trace,
+    tr->instant(node_->network().simulator_for(node_->host()).now(), q->trace,
                 static_cast<int>(node_->handle().host), "shuffle.hold",
                 "vbundle", "vm", static_cast<double>(q->vm));
   }
@@ -332,7 +332,7 @@ void VBundleAgent::on_anycast_accepted(scribe::ScribeNode& self,
     VBundleAgent* dst = directory_->at(static_cast<std::size_t>(acceptor.host));
     dst->release_accepted(q->vm);
     if (obs::TraceRecorder* tr = node_->network().trace()) {
-      tr->instant(node_->network().simulator().now(), q->trace,
+      tr->instant(node_->network().simulator_for(node_->host()).now(), q->trace,
                   static_cast<int>(node_->handle().host), "shuffle.stale",
                   "vbundle", "vm", static_cast<double>(q->vm));
     }
@@ -353,7 +353,7 @@ void VBundleAgent::on_anycast_accepted(scribe::ScribeNode& self,
   ++sheds_this_round_;
   std::uint64_t trace = q->trace;
   if (obs::TraceRecorder* tr = node_->network().trace()) {
-    tr->instant(node_->network().simulator().now(), trace,
+    tr->instant(node_->network().simulator_for(node_->host()).now(), trace,
                 static_cast<int>(node_->handle().host), "shuffle.migrate",
                 "vbundle", "vm", static_cast<double>(q->vm), "dst_host",
                 static_cast<double>(dst_host));
@@ -365,7 +365,7 @@ void VBundleAgent::on_anycast_accepted(scribe::ScribeNode& self,
         pending_out_demand_ -= moved_demand;
         pending_out_cpu_ -= moved_cpu;
         if (obs::TraceRecorder* tr = node_->network().trace()) {
-          tr->end(node_->network().simulator().now(), trace,
+          tr->end(node_->network().simulator_for(node_->host()).now(), trace,
                   static_cast<int>(node_->handle().host), "vbundle.shuffle",
                   "vbundle", "migrated", 1.0, "dst_host",
                   static_cast<double>(dst_host));
@@ -389,7 +389,7 @@ void VBundleAgent::on_anycast_failed(scribe::ScribeNode& self,
   query_in_flight_ = false;
   ++stats_.anycast_failures;
   if (obs::TraceRecorder* tr = node_->network().trace()) {
-    tr->end(node_->network().simulator().now(), q->trace,
+    tr->end(node_->network().simulator_for(node_->host()).now(), q->trace,
             static_cast<int>(node_->handle().host), "vbundle.shuffle",
             "vbundle", "failed", 1.0);
   }
@@ -404,7 +404,7 @@ void VBundleAgent::on_migration_arrived(host::VmId vm) {
   if (auto it = pending_accepts_.find(vm); it != pending_accepts_.end()) {
     // Undo exactly what the accept charged (the VM's live demand may have
     // drifted while in flight); the hold itself was consumed by migrate().
-    node_->network().simulator().cancel(it->second.lease);
+    node_->network().simulator_for(node_->host()).cancel(it->second.lease);
     pending_in_demand_ -= it->second.demand_mbps;
     pending_in_cpu_ -= it->second.cpu_demand;
     pending_accepts_.erase(it);
@@ -422,7 +422,7 @@ void VBundleAgent::on_migration_arrived(host::VmId vm) {
 void VBundleAgent::release_accepted(host::VmId vm) {
   auto it = pending_accepts_.find(vm);
   if (it == pending_accepts_.end()) return;
-  node_->network().simulator().cancel(it->second.lease);
+  node_->network().simulator_for(node_->host()).cancel(it->second.lease);
   fleet_->host(node_->host()).release_hold_all(it->second.spec);
   pending_in_demand_ -= it->second.demand_mbps;
   pending_in_cpu_ -= it->second.cpu_demand;

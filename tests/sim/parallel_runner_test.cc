@@ -1,0 +1,225 @@
+// Unit tests for the deterministic parallel engine (sim::ParallelRunner).
+//
+// The engine's whole value is one guarantee: the worker-thread count is an
+// execution detail, never a semantic input.  These tests pin down the three
+// mechanisms that guarantee rests on — the canonical (time, src_shard,
+// post_seq) mailbox drain order, the conservative-window rule that rejects
+// posts below the lookahead horizon, and per-shard RNG streams derived only
+// from (master seed, shard) — and then check thread-count invariance
+// end-to-end on a randomized cross-shard workload with periodics and
+// cancellations in the mix.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/shard_context.h"
+#include "sim/parallel_runner.h"
+
+namespace vb::sim {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(ParallelRunner, MailboxesDrainInCanonicalOrder) {
+  ParallelRunner r(3, /*lookahead_s=*/1.0);
+  std::vector<int> order;
+  // During window [0,1): shards 1 and 2 post events to shard 0, all landing
+  // at the same instant t=1.5.  Shard 2's event *fires first* inside the
+  // window (t=0.25 < 0.5) — if thread or firing order leaked into the
+  // drain, its post would arrive ahead of shard 1's.
+  r.shard(1).schedule_at(0.5, [&r, &order] {
+    r.post(0, 1.5, [&order] { order.push_back(10); });
+    r.post(0, 1.5, [&order] { order.push_back(11); });
+  });
+  r.shard(2).schedule_at(0.25, [&r, &order] {
+    r.post(0, 1.5, [&order] { order.push_back(20); });
+  });
+  // A shard-local event at the same t=1.5, scheduled from inside the window:
+  // local pushes happen before the barrier's mailbox pushes, so at equal
+  // timestamps local work deterministically precedes cross-shard arrivals.
+  r.shard(0).schedule_at(0.5, [&r, &order] {
+    r.shard(0).schedule_at(1.5, [&order] { order.push_back(0); });
+  });
+
+  r.run_until(2.0);
+
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 10, 11, 20}))
+      << "expected (time, src_shard, post_seq) drain order with local-first "
+         "tie-break";
+  EXPECT_EQ(r.cross_shard_posts(), 3u);
+}
+
+TEST(ParallelRunner, BoundaryPostsFireInTheNextWindow) {
+  // t exactly at the window's end is legal (latency == lookahead) and the
+  // event runs in the next window, after the barrier merged it.
+  ParallelRunner r(2, 1.0);
+  std::vector<int> order;
+  r.shard(0).schedule_at(1.0, [&order] { order.push_back(1); });  // setup push
+  r.shard(1).schedule_at(0.5, [&r, &order] {
+    r.post(0, 1.0, [&order] { order.push_back(2); });
+  });
+  r.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ParallelRunner, PostBelowTheLookaheadWindowThrows) {
+  ParallelRunner r(2, 1.0);
+  r.shard(0).schedule_at(0.1, [&r] { r.post(1, 0.5, [] {}); });
+  EXPECT_THROW(r.run_until(1.0), std::logic_error);
+}
+
+TEST(ParallelRunner, SetupPostsBypassMailboxes) {
+  // Outside a window (current_shard() == -1) post() is plain scheduling:
+  // no lookahead constraint, no mailbox accounting.
+  ParallelRunner r(2, 1.0);
+  ASSERT_EQ(vb::current_shard(), -1);
+  bool ran = false;
+  r.post(1, 0.25, [&ran] { ran = true; });
+  r.run_until(1.0);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(r.cross_shard_posts(), 0u);
+}
+
+TEST(ParallelRunner, ShardSeedsAreStableAndDistinct) {
+  std::set<std::uint64_t> seen;
+  for (int s = 0; s < 8; ++s) {
+    std::uint64_t v = ParallelRunner::shard_seed(42, s);
+    EXPECT_EQ(v, ParallelRunner::shard_seed(42, s)) << "must be pure";
+    seen.insert(v);
+    seen.insert(ParallelRunner::shard_seed(43, s));
+  }
+  EXPECT_EQ(seen.size(), 16u) << "streams must not collide across shards "
+                                 "or adjacent master seeds";
+}
+
+// Randomized cross-shard workload: each shard runs a self-re-arming event
+// chain with delays drawn from its own seeded stream; every third step
+// posts a token to a (randomly chosen, possibly own) shard, which folds it
+// into the destination's hash on the destination's thread.  Periodics and
+// schedule-then-cancel decoys run alongside.  The fingerprint covers every
+// per-shard hash and counter, so any thread-order leak shows up.
+class ChainWorkload {
+ public:
+  ChainWorkload(ParallelRunner& r, std::uint64_t seed, int steps_per_shard)
+      : runner_(r) {
+    shards_.reserve(static_cast<std::size_t>(r.num_shards()));
+    for (int s = 0; s < r.num_shards(); ++s) {
+      shards_.emplace_back(ParallelRunner::shard_seed(seed, s),
+                           steps_per_shard);
+    }
+  }
+
+  void start() {
+    for (int s = 0; s < runner_.num_shards(); ++s) {
+      runner_.shard(s).schedule_at(0.0, [this, s] { step(s); });
+      runner_.shard(s).schedule_periodic(
+          0.013, 0.11,
+          [this, s] {
+            fold(s, std::bit_cast<std::uint64_t>(runner_.shard(s).now()));
+            return true;
+          },
+          3.0);
+    }
+  }
+
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = kFnvOffset;
+    for (const ShardState& st : shards_) h = fnv1a(h, st.hash);
+    for (int s = 0; s < runner_.num_shards(); ++s) {
+      h = fnv1a(h, runner_.shard(s).events_executed());
+      h = fnv1a(h, runner_.shard(s).events_scheduled());
+      h = fnv1a(h, runner_.shard(s).events_cancelled());
+    }
+    h = fnv1a(h, runner_.cross_shard_posts());
+    return h;
+  }
+
+ private:
+  struct ShardState {
+    ShardState(std::uint64_t seed, int remaining)
+        : rng(seed), remaining(remaining) {}
+    Rng rng;
+    int remaining;
+    std::uint64_t hash = kFnvOffset;
+  };
+
+  void fold(int s, std::uint64_t v) {
+    ShardState& st = shards_[static_cast<std::size_t>(s)];
+    st.hash = fnv1a(st.hash, v);
+  }
+
+  void step(int s) {
+    ShardState& st = shards_[static_cast<std::size_t>(s)];
+    Simulator& sim = runner_.shard(s);
+    fold(s, std::bit_cast<std::uint64_t>(sim.now()));
+    if (st.remaining-- <= 0) return;
+    EventId doomed = sim.schedule_in(3.0, [] {});
+    sim.cancel(doomed);
+    if (st.remaining % 3 == 0) {
+      int dst = static_cast<int>(st.rng.next_below(
+          static_cast<std::uint64_t>(runner_.num_shards())));
+      // Strict margin over the lookahead keeps the post safely beyond the
+      // window even at floating-point grid boundaries.
+      double t = sim.now() + runner_.lookahead_s() +
+                 st.rng.uniform(0.01, 0.2);
+      std::uint64_t token = st.rng.next_u64();
+      runner_.post(dst, t, [this, dst, token] { fold(dst, token); });
+    }
+    sim.schedule_in(st.rng.uniform(0.005, 0.05), [this, s] { step(s); });
+  }
+
+  ParallelRunner& runner_;
+  std::vector<ShardState> shards_;
+};
+
+std::uint64_t run_chain_workload(int threads, bool split_run = false) {
+  ParallelRunner r(8, /*lookahead_s=*/0.25, threads);
+  ChainWorkload w(r, 99, /*steps_per_shard=*/120);
+  w.start();
+  if (split_run) {
+    r.run_until(2.0);
+    r.run_until(30.0);
+  } else {
+    r.run_until(30.0);
+  }
+  EXPECT_TRUE(r.idle());
+  EXPECT_GT(r.cross_shard_posts(), 0u);
+  EXPECT_GT(r.events_cancelled(), 0u);
+  return w.fingerprint();
+}
+
+TEST(ParallelRunner, ThreadCountIsNotSemantic) {
+  std::uint64_t serial = run_chain_workload(1);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(run_chain_workload(threads), serial)
+        << "bit-identical contract broken at threads=" << threads;
+  }
+}
+
+TEST(ParallelRunner, ResumableRunUntilMatchesOneShot) {
+  EXPECT_EQ(run_chain_workload(4, /*split_run=*/true),
+            run_chain_workload(1, /*split_run=*/false));
+}
+
+TEST(ParallelRunner, EventExceptionsSurfaceAtTheBarrier) {
+  ParallelRunner r(2, 1.0, 2);
+  r.shard(1).schedule_at(0.5, [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(r.run_until(1.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vb::sim

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Schema + sanity gate for perf_core's BENCH_core JSON.
+
+Usage:
+    check_bench.py <fresh.json> <reference.json>
+
+Compares a freshly produced BENCH_core[.smoke].json against the committed
+reference and fails (exit 1) on any structural or semantic regression:
+
+  * schema_version and the set of (name, servers) result rows must match;
+  * every row must carry at least the reference row's keys;
+  * deterministic metrics (event counts, migrations, tree heights, ...) must
+    match the reference EXACTLY — the workloads are seeded, so these numbers
+    are bit-stable across machines and any drift is a real behaviour change;
+  * timing-derived metrics (seconds, rates, speedups) only have to be finite
+    and positive — wall clock on shared CI runners is not reproducible — but
+    a per-metric tolerance band can tighten that (see BANDS below);
+  * the parallel engine's self-check ("deterministic": true) must hold.
+
+Runs both as a ctest (bench_schema, after bench_smoke) and as a CI step.
+Stdlib only; no third-party imports.
+"""
+import json
+import math
+import sys
+
+# Deterministic per-row metrics: seeded workload outputs, compared exactly.
+EXACT = {
+    "servers", "threads", "shards", "events", "routes", "rounds", "vms",
+    "sim_events", "migrations", "tree_height", "cross_shard_posts",
+}
+
+# Timing-derived metrics: positive and finite, nothing more, unless a band
+# below says otherwise.
+POSITIVE = {
+    "seconds", "legacy_seconds", "serial_seconds", "bootstrap_seconds",
+    "setup_seconds", "build_seconds", "events_per_sec",
+    "legacy_events_per_sec", "routes_per_sec", "rounds_per_sec",
+    "parallel_speedup", "speedup_vs_legacy",
+}
+
+# Optional per-metric tolerance bands, keyed by (row name, metric):
+# value must lie in [lo, hi] in absolute terms.  These are pathology guards,
+# not perf gates: ctest runs bench_smoke under -j alongside other tests, so
+# even same-process timing *ratios* can swing an order of magnitude under
+# CPU contention.  Keep the lower bounds loose enough that only a
+# genuinely broken run (a livelocked barrier, a zeroed timer) trips them.
+BANDS = {
+    ("event_churn", "speedup_vs_legacy"): (0.02, math.inf),
+    ("event_churn_parallel", "parallel_speedup"): (0.02, math.inf),
+}
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_row(key, fresh_row, ref_row):
+    name = key[0]
+    missing = set(ref_row) - set(fresh_row)
+    if missing:
+        fail(f"{key}: missing keys {sorted(missing)}")
+    for metric, ref_val in ref_row.items():
+        val = fresh_row[metric]
+        if metric == "name":
+            continue
+        band = BANDS.get((name, metric))
+        if band is not None:
+            if not is_number(val) or not (band[0] <= val <= band[1]):
+                fail(f"{key}: {metric}={val} outside band [{band[0]}, {band[1]}]")
+        elif metric in EXACT:
+            if val != ref_val:
+                fail(f"{key}: {metric}={val} != reference {ref_val} "
+                     "(deterministic metric — this is a behaviour change)")
+        elif metric in POSITIVE:
+            if not is_number(val) or not math.isfinite(val) or val <= 0:
+                fail(f"{key}: {metric}={val} is not finite-positive")
+        elif isinstance(ref_val, bool):
+            if val != ref_val:
+                fail(f"{key}: {metric}={val} != reference {ref_val}")
+        # Unknown metric classes are presence-checked only: new fields may
+        # be added by later schema versions without breaking old references.
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh = load(argv[1])
+    ref = load(argv[2])
+
+    if fresh.get("schema_version") != ref.get("schema_version"):
+        fail(f"schema_version {fresh.get('schema_version')} != "
+             f"reference {ref.get('schema_version')}")
+    if fresh.get("smoke") != ref.get("smoke"):
+        fail(f"smoke={fresh.get('smoke')} != reference {ref.get('smoke')}")
+    for k in ("threads", "shards", "compiler", "build_type"):
+        if k not in fresh.get("config", {}):
+            fail(f"config.{k} missing (schema v2 requires it)")
+
+    def rows(doc, which):
+        out = {}
+        for row in doc.get("results", []):
+            key = (row.get("name"), row.get("servers"))
+            if key in out:
+                fail(f"{which}: duplicate row {key}")
+            out[key] = row
+        return out
+
+    fresh_rows = rows(fresh, "fresh")
+    ref_rows = rows(ref, "reference")
+    if set(fresh_rows) != set(ref_rows):
+        fail(f"row sets differ: fresh-only={sorted(set(fresh_rows) - set(ref_rows))} "
+             f"reference-only={sorted(set(ref_rows) - set(fresh_rows))}")
+
+    for key, ref_row in sorted(ref_rows.items(), key=str):
+        check_row(key, fresh_rows[key], ref_row)
+
+    print(f"check_bench: OK ({len(fresh_rows)} rows, "
+          f"schema v{fresh['schema_version']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
