@@ -23,6 +23,11 @@
 //                      aggregation tree, to global publication.
 //   shuffle_epoch      a full v-Bundle epoch on a skewed cloud: update
 //                      ticks, one rebalancing round, migrations settled.
+//   ckpt_roundtrip     src/ckpt snapshot + restore of a mid-rebalance cloud
+//                      at 64/512/3000 servers (64 in smoke): save wall time
+//                      (including the quiesce), restore wall time, image
+//                      bytes, and a bit-identical-resume self-check.  Runs
+//                      at its own fixed sizes, independent of --sizes.
 //
 // Usage:
 //   perf_core [--sizes=1000,4000,16000] [--out=BENCH_core.json] [--smoke]
@@ -49,7 +54,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <ctime>
+#include <memory>
 #include <functional>
 #include <queue>
 #include <set>
@@ -500,6 +507,93 @@ EpochResult bench_shuffle_epoch(int servers, std::uint64_t seed,
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// ckpt_roundtrip: serialize a 10-VMs/host cloud mid-rebalance (t=1503, inside
+// the post-1500 migration burst, so in-flight shuffle state rides the image),
+// restore into a fresh reconstruction, and verify the resumed run ends
+// bit-identical to the saving one at t=1800.
+
+std::uint64_t ckpt_fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t ckpt_fingerprint(core::VBundleCloud& cloud) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = ckpt_fnv1a(h, cloud.simulator().events_executed());
+  h = ckpt_fnv1a(h, cloud.migrations().completed());
+  for (int i = 0; i < cloud.fleet().num_hosts(); ++i) {
+    for (host::VmId v : cloud.fleet().host(i).vms()) {
+      h = ckpt_fnv1a(h, static_cast<std::uint64_t>(v));
+    }
+  }
+  for (double u : cloud.fleet().utilization_snapshot()) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof u);
+    std::memcpy(&bits, &u, sizeof bits);
+    h = ckpt_fnv1a(h, bits);
+  }
+  return h;
+}
+
+struct CkptResult {
+  std::uint64_t vms = 0;
+  double save_seconds = 0.0;
+  double restore_seconds = 0.0;
+  std::uint64_t bytes = 0;
+  bool resume_identical = false;
+};
+
+CkptResult bench_ckpt_roundtrip(int servers, std::uint64_t seed) {
+  core::CloudConfig cfg;
+  cfg.topology = topology_for(servers);
+  cfg.seed = seed;
+  cfg.vbundle.threshold = 0.183;
+
+  auto build = [&](bool place_vms) {
+    auto cloud = std::make_unique<core::VBundleCloud>(cfg);
+    auto c = cloud->add_customer("PerfCkpt");
+    if (place_vms) {
+      int vms = servers * 10;
+      for (int i = 0; i < vms; ++i) {
+        host::VmId v = cloud->fleet().create_vm(c, host::VmSpec{20.0, 100.0});
+        cloud->fleet().place(v, i % servers);
+      }
+      Rng rng(seed);
+      load::skew_host_utilizations(cloud->fleet(), 0.2, 0.95, rng);
+    }
+    cloud->start_rebalancing(0.0, 1500.0);
+    return cloud;
+  };
+
+  CkptResult r;
+  r.vms = static_cast<std::uint64_t>(servers) * 10;
+
+  auto saver = build(/*place_vms=*/true);
+  saver->run_until(1503.0);
+  std::vector<std::uint8_t> image;
+  r.save_seconds = wall_seconds([&] { image = saver->save_checkpoint(); });
+  r.bytes = image.size();
+  saver->run_until(1800.0);
+  saver->stop_rebalancing();
+  std::uint64_t want = ckpt_fingerprint(*saver);
+
+  auto restored = build(/*place_vms=*/false);
+  r.restore_seconds =
+      wall_seconds([&] { restored->restore_checkpoint(image); });
+  restored->run_until(1800.0);
+  restored->stop_rebalancing();
+  r.resume_identical = ckpt_fingerprint(*restored) == want;
+  if (!r.resume_identical) {
+    std::fprintf(stderr, "ckpt_roundtrip: resumed run DIVERGED at %d servers\n",
+                 servers);
+  }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -650,6 +744,29 @@ int main(int argc, char** argv) {
          ", \"events_per_sec\": " +
          num(static_cast<double>(ep.sim_events) / ep.seconds) +
          ", \"migrations\": " + std::to_string(ep.migrations) + "}");
+  }
+
+  // ckpt_roundtrip has its own size schedule: snapshot cost scales with state
+  // volume, not event throughput, so it covers small/medium/large fleets
+  // regardless of what --sizes asked the hot-path benches to run.
+  std::vector<int> ckpt_sizes = smoke ? std::vector<int>{64}
+                                      : std::vector<int>{64, 512, 3000};
+  for (int n : ckpt_sizes) {
+    CkptResult ck = bench_ckpt_roundtrip(n, 42);
+    std::printf(
+        "ckpt_roundtrip     %6d servers: save %.4fs, restore %.4fs, "
+        "%llu bytes (%s)\n",
+        n, ck.save_seconds, ck.restore_seconds,
+        static_cast<unsigned long long>(ck.bytes),
+        ck.resume_identical ? "resume bit-identical" : "DIVERGED");
+    emit("{\"name\": \"ckpt_roundtrip\", \"servers\": " + std::to_string(n) +
+         ", \"vms\": " + std::to_string(ck.vms) +
+         ", \"save_seconds\": " + num(ck.save_seconds) +
+         ", \"restore_seconds\": " + num(ck.restore_seconds) +
+         ", \"bytes\": " + std::to_string(ck.bytes) +
+         ", \"resume_identical\": " +
+         std::string(ck.resume_identical ? "true" : "false") + "}");
+    if (!ck.resume_identical) return 1;
   }
 
   json += "\n  ]\n}\n";

@@ -91,6 +91,12 @@ class AggregationAgent : public pastry::PastryApp, public scribe::ScribeApp {
 
   scribe::ScribeNode& scribe() { return *scribe_; }
 
+  // --- checkpoint/restore (src/ckpt) -------------------------------------
+  /// Serializes the topic information bases and the pending-update
+  /// bookkeeping (no timers: periodic ticks are owned by the driver).
+  void ckpt_save(ckpt::Writer& w) const;
+  void ckpt_restore(ckpt::Reader& r);
+
   // --- PastryApp ---------------------------------------------------------
   void deliver(pastry::PastryNode& self, const pastry::RouteMsg& msg) override;
   void receive_direct(pastry::PastryNode& self, const pastry::NodeHandle& from,

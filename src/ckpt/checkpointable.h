@@ -1,0 +1,42 @@
+// The component contract for checkpoint/restore.
+//
+// A Checkpointable component serializes ALL of its dynamic state into a
+// named section and can overwrite that state from the same section later.
+// The restore contract is reconstruct-and-patch:
+//
+//   1. The driver rebuilds the component tree by re-running the original
+//      deterministic setup (same config, same seed, same call sequence) —
+//      WITHOUT running the simulation.
+//   2. Each component's ckpt_restore() overwrites its dynamic state and
+//      re-arms its one-shot timers at their original (fire time, event seq)
+//      via Simulator::schedule_at_with_seq, so the restored event queue
+//      drains in exactly the order the uninterrupted run would have used.
+//   3. Any mismatch between the image and the reconstructed world (missing
+//      node, different config, counts that disagree) throws CkptError —
+//      restore never leaves silent partial state.
+//
+// Checkpoints are only taken at quiesce barriers: the transport has zero
+// in-flight deliveries (PastryNetwork::wire_in_flight() == 0), so every
+// pending event is either a periodic tick or a component-tracked one-shot
+// timer — both re-creatable from serialized data.  Messages that were
+// logically in flight at the application level (unacked reliable sends)
+// recover through the serialized retransmit state machines.
+#pragma once
+
+#include "ckpt/format.h"
+
+namespace vb::ckpt {
+
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Serializes all dynamic state into `w` (inside the caller's section).
+  virtual void ckpt_save(Writer& w) const = 0;
+
+  /// Overwrites dynamic state from `r` and re-arms timers.  Throws
+  /// CkptError if the image contradicts the reconstructed component.
+  virtual void ckpt_restore(Reader& r) = 0;
+};
+
+}  // namespace vb::ckpt

@@ -67,6 +67,21 @@ class Rng {
   /// server its own stream without cross-coupling.
   Rng fork();
 
+  /// Complete generator state, exposed for checkpoint/restore (src/ckpt).
+  /// Restoring it resumes the stream bit-identically, including a buffered
+  /// Box-Muller spare.
+  struct State {
+    std::uint64_t state = 0;
+    bool have_spare_normal = false;
+    double spare_normal = 0.0;
+  };
+  State ckpt_state() const { return {state_, have_spare_normal_, spare_normal_}; }
+  void ckpt_restore(const State& s) {
+    state_ = s.state;
+    have_spare_normal_ = s.have_spare_normal;
+    spare_normal_ = s.spare_normal;
+  }
+
  private:
   std::uint64_t state_;
   bool have_spare_normal_ = false;

@@ -161,4 +161,85 @@ std::vector<double> Fleet::utilization_snapshot() const {
   return out;
 }
 
+void Fleet::ckpt_save(ckpt::Writer& w) const {
+  w.begin_section("fleet");
+  w.u32(static_cast<std::uint32_t>(hosts_.size()));
+  for (const Host& h : hosts_) {
+    w.f64(h.capacity_mbps_);
+    w.f64(h.cpu_capacity_);
+    w.f64(h.mem_capacity_mb_);
+    w.f64(h.reserved_mbps_);
+    w.f64(h.reserved_cpu_);
+    w.f64(h.reserved_mem_mb_);
+    w.u32(static_cast<std::uint32_t>(h.vms_.size()));
+    for (VmId id : h.vms_) w.i64(id);
+  }
+  w.u32(static_cast<std::uint32_t>(vms_.size()));
+  for (const Vm& v : vms_) {
+    w.i64(v.customer);
+    w.f64(v.spec.reservation_mbps);
+    w.f64(v.spec.limit_mbps);
+    w.f64(v.spec.ram_mb);
+    w.f64(v.spec.cpu_reservation);
+    w.f64(v.spec.cpu_limit);
+    w.i64(v.host);
+    w.f64(v.demand_mbps);
+    w.f64(v.cpu_demand);
+    w.boolean(v.migrating);
+    w.boolean(v.destroyed);
+  }
+  w.end_section();
+}
+
+void Fleet::ckpt_restore(ckpt::Reader& r) {
+  r.enter_section("fleet");
+  std::uint32_t nh = r.u32();
+  if (nh != hosts_.size()) {
+    throw ckpt::CkptError("fleet: host count mismatch (checkpoint " +
+                          std::to_string(nh) + ", reconstruction " +
+                          std::to_string(hosts_.size()) + ")");
+  }
+  for (Host& h : hosts_) {
+    double cap = r.f64();
+    double cpu = r.f64();
+    double mem = r.f64();
+    if (cap != h.capacity_mbps_ || cpu != h.cpu_capacity_ ||
+        mem != h.mem_capacity_mb_) {
+      throw ckpt::CkptError("fleet: host " + std::to_string(h.id_) +
+                            " capacity mismatch");
+    }
+    h.reserved_mbps_ = r.f64();
+    h.reserved_cpu_ = r.f64();
+    h.reserved_mem_mb_ = r.f64();
+    h.vms_.clear();
+    std::uint32_t nv = r.u32();
+    h.vms_.reserve(nv);
+    for (std::uint32_t i = 0; i < nv; ++i) {
+      h.vms_.push_back(static_cast<VmId>(r.i64()));
+    }
+  }
+  // VMs may have been booted after setup, so the table is rebuilt wholesale
+  // rather than verified against the reconstruction.
+  std::uint32_t nv = r.u32();
+  vms_.clear();
+  vms_.reserve(nv);
+  for (std::uint32_t i = 0; i < nv; ++i) {
+    Vm v;
+    v.id = static_cast<VmId>(i);
+    v.customer = static_cast<CustomerId>(r.i64());
+    v.spec.reservation_mbps = r.f64();
+    v.spec.limit_mbps = r.f64();
+    v.spec.ram_mb = r.f64();
+    v.spec.cpu_reservation = r.f64();
+    v.spec.cpu_limit = r.f64();
+    v.host = static_cast<int>(r.i64());
+    v.demand_mbps = r.f64();
+    v.cpu_demand = r.f64();
+    v.migrating = r.boolean();
+    v.destroyed = r.boolean();
+    vms_.push_back(v);
+  }
+  r.exit_section();
+}
+
 }  // namespace vb::host

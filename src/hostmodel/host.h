@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "ckpt/format.h"
 #include "hostmodel/tc_shaper.h"
 #include "hostmodel/vm.h"
 
@@ -156,6 +157,16 @@ class Fleet {
 
   /// Utilization of every host (index = host id).
   std::vector<double> utilization_snapshot() const;
+
+  // --- checkpoint/restore (src/ckpt) -------------------------------------
+  /// Serializes dynamic placement state: per-host reservations and VM lists
+  /// plus every VM record.  Host capacities are static configuration and are
+  /// written only so restore can verify the reconstruction matches.
+  void ckpt_save(ckpt::Writer& w) const;
+  /// Restores into a fleet built with the same constructor arguments; the VM
+  /// table is rebuilt wholesale (VMs may have been booted mid-run).  Throws
+  /// ckpt::CkptError when host count or capacities disagree.
+  void ckpt_restore(ckpt::Reader& r);
 
  private:
   std::vector<Host> hosts_;

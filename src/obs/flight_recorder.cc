@@ -20,7 +20,8 @@ FlightDump dump_flight(const std::string& dir, const std::string& tag,
                        const MetricsRegistry* metrics,
                        const std::string& repro_text,
                        const std::string& repro_json,
-                       const std::string& reason) {
+                       const std::string& reason,
+                       const std::vector<std::uint8_t>* checkpoint) {
   FlightDump out;
   out.dir = dir;
   std::error_code ec;
@@ -56,6 +57,16 @@ FlightDump dump_flight(const std::string& dir, const std::string& tag,
       return out;
     }
   }
+  if (checkpoint != nullptr) {
+    out.checkpoint_path = base + ".ckpt";
+    std::ofstream cf(out.checkpoint_path, std::ios::binary);
+    cf.write(reinterpret_cast<const char*>(checkpoint->data()),
+             static_cast<std::streamsize>(checkpoint->size()));
+    if (!cf) {
+      out.error = "cannot write " + out.checkpoint_path;
+      return out;
+    }
+  }
 
   std::ofstream mf(out.manifest_path);
   if (!mf) {
@@ -68,6 +79,12 @@ FlightDump dump_flight(const std::string& dir, const std::string& tag,
   mf << "  \"repro\": \"" << json_escape(repro_text) << "\",\n";
   mf << "  \"fault_plan\": " << (repro_json.empty() ? "null" : repro_json)
      << ",\n";
+  if (checkpoint != nullptr) {
+    mf << "  \"checkpoint\": {\"bytes\": " << checkpoint->size()
+       << ", \"path\": \"" << json_escape(out.checkpoint_path) << "\"},\n";
+  } else {
+    mf << "  \"checkpoint\": null,\n";
+  }
   if (trace != nullptr) {
     mf << "  \"trace\": {\"events\": " << trace->size()
        << ", \"dropped\": " << trace->dropped() << ", \"chrome\": \""

@@ -4,16 +4,21 @@
 // Tests that detect an invariant violation (or the chaos-fuzz shrinker's
 // minimal repro) call dump_flight(); the returned paths are embedded in the
 // gtest failure message so the dump is one click away from the CI log.  A
-// dump is a directory entry of five files sharing a tag:
+// dump is a directory entry of files sharing a tag:
 //
 //   <tag>.manifest.json   reason, repro script, pointers to the other files
 //   <tag>.trace.json      Chrome trace_event export (chrome://tracing)
 //   <tag>.trace.jsonl     the same events, one JSON object per line
 //   <tag>.metrics.csv     metrics snapshot, one series per row
 //   <tag>.metrics.json    the same snapshot as JSON
+//   <tag>.ckpt            optional end-state checkpoint image (src/ckpt) —
+//                         restore it to poke at the violated state directly
+//                         instead of replaying the whole run
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace vb::obs {
 
@@ -29,6 +34,7 @@ struct FlightDump {
   std::string trace_jsonl_path;
   std::string metrics_csv_path;
   std::string metrics_json_path;
+  std::string checkpoint_path;  ///< empty when no checkpoint was provided
   /// One-line summary for a test failure message: where the dump landed.
   std::string message() const;
 };
@@ -36,12 +42,15 @@ struct FlightDump {
 /// Writes a flight-recorder dump under `dir` (created if missing).
 /// `trace` and `metrics` may each be null (that part is skipped).
 /// `repro_text` / `repro_json` carry the FaultPlan describe() script and
-/// its to_json() record; `reason` says what tripped.
+/// its to_json() record; `reason` says what tripped.  `checkpoint`, when
+/// non-null, is a src/ckpt image of the violated end state, written next to
+/// the repro as <tag>.ckpt.
 FlightDump dump_flight(const std::string& dir, const std::string& tag,
                        const TraceRecorder* trace,
                        const MetricsRegistry* metrics,
                        const std::string& repro_text,
                        const std::string& repro_json,
-                       const std::string& reason);
+                       const std::string& reason,
+                       const std::vector<std::uint8_t>* checkpoint = nullptr);
 
 }  // namespace vb::obs

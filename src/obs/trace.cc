@@ -225,4 +225,92 @@ bool TraceRecorder::write(const std::string& path) const {
   return write_chrome_json(path);
 }
 
+const char* TraceRecorder::intern(const std::string& s) {
+  return interned_.insert(s).first->c_str();
+}
+
+void TraceRecorder::ckpt_save(ckpt::Writer& w) const {
+  w.begin_section("trace");
+  w.boolean(sharded_);
+  w.u64(capacity_);
+  w.u32(static_cast<std::uint32_t>(rings_.size()));
+  auto opt_str = [&w](const char* s) {
+    w.boolean(s != nullptr);
+    if (s != nullptr) w.str(s);
+  };
+  for (const Ring& r : rings_) {
+    w.u64(r.cap);
+    w.u64(r.head);
+    w.u64(r.size);
+    w.u64(r.total);
+    w.u64(r.next_id);
+    // Storage order, not chronological order: restoring buf[] verbatim
+    // (plus head) makes every later overwrite land in the same slot.
+    for (std::size_t i = 0; i < r.size; ++i) {
+      const TraceEvent& e = r.buf[i];
+      w.f64(e.ts_s);
+      w.u64(e.trace_id);
+      w.u32(static_cast<std::uint32_t>(e.node));
+      w.u8(static_cast<std::uint8_t>(e.phase));
+      w.str(e.name);
+      w.str(e.cat);
+      opt_str(e.arg0_name);
+      w.f64(e.arg0);
+      opt_str(e.arg1_name);
+      w.f64(e.arg1);
+    }
+  }
+  w.end_section();
+}
+
+void TraceRecorder::ckpt_restore(ckpt::Reader& r) {
+  r.enter_section("trace");
+  bool sharded = r.boolean();
+  std::uint64_t capacity = r.u64();
+  std::uint32_t nrings = r.u32();
+  if (sharded != sharded_ || capacity != capacity_ || nrings != rings_.size()) {
+    throw ckpt::CkptError(
+        "trace restore: recorder layout mismatch (sharding/capacity/ring "
+        "count) — reconstruct the recorder with the original configuration");
+  }
+  auto opt_str = [this, &r]() -> const char* {
+    if (!r.boolean()) return nullptr;
+    return intern(r.str());
+  };
+  for (Ring& ring : rings_) {
+    std::uint64_t cap = r.u64();
+    if (cap != ring.cap) {
+      throw ckpt::CkptError("trace restore: ring capacity mismatch");
+    }
+    std::uint64_t head = r.u64();
+    std::uint64_t size = r.u64();
+    std::uint64_t total = r.u64();
+    std::uint64_t next_id = r.u64();
+    if (size > cap || head >= cap) {
+      throw ckpt::CkptError("trace restore: ring counters out of range");
+    }
+    ring.buf.clear();
+    ring.buf.reserve(ring.cap);
+    for (std::uint64_t i = 0; i < size; ++i) {
+      TraceEvent e;
+      e.ts_s = r.f64();
+      e.trace_id = r.u64();
+      e.node = static_cast<std::int32_t>(r.u32());
+      e.phase = static_cast<Phase>(r.u8());
+      e.name = intern(r.str());
+      e.cat = intern(r.str());
+      e.arg0_name = opt_str();
+      e.arg0 = r.f64();
+      e.arg1_name = opt_str();
+      e.arg1 = r.f64();
+      ring.buf.push_back(e);
+    }
+    ring.head = head;
+    ring.size = size;
+    ring.total = total;
+    ring.next_id = next_id;
+  }
+  r.exit_section();
+}
+
 }  // namespace vb::obs

@@ -36,8 +36,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <set>
 #include <string>
 #include <vector>
+
+#include "ckpt/format.h"
 
 namespace vb::obs {
 
@@ -135,6 +138,19 @@ class TraceRecorder {
   /// Dispatches on extension: ".jsonl" -> JSONL, anything else -> Chrome.
   bool write(const std::string& path) const;
 
+  // --- checkpoint/restore (src/ckpt) -------------------------------------
+  /// Serializes every ring (layout, counters, buffered events).  Event
+  /// strings are written out by value, so the image does not depend on the
+  /// writer process's literal addresses.
+  void ckpt_save(ckpt::Writer& w) const;
+
+  /// Overwrites ring contents from the image.  The recorder must already be
+  /// configured identically (same capacity, same enable_sharded call);
+  /// layout mismatches throw CkptError.  Restored strings live in a
+  /// recorder-owned arena — same static-storage guarantee the literal
+  /// contract gives, different owner.
+  void ckpt_restore(ckpt::Reader& r);
+
  private:
   // One bounded ring.  Serial mode has exactly one; sharded mode one per
   // shard.  alignas keeps adjacent shards' hot counters off a shared cache
@@ -152,10 +168,13 @@ class TraceRecorder {
   static void record_into(Ring& r, const TraceEvent& e);
   /// Ring `i`'s buffered events, oldest first.
   void append_ring(std::vector<TraceEvent>& out, std::size_t i) const;
+  /// Stable recorder-owned copy of `s` (checkpoint restore only).
+  const char* intern(const std::string& s);
 
   std::vector<Ring> rings_;
   std::size_t capacity_;
   bool sharded_ = false;
+  std::set<std::string> interned_;  // restored strings; node-stable c_str()s
 };
 
 }  // namespace vb::obs

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "ckpt/format.h"
 #include "common/u128.h"
 #include "pastry/node_id.h"
 
@@ -59,6 +60,41 @@ class LeafSet {
   std::size_t size() const { return cw_.size() + ccw_.size(); }
   int half() const { return half_; }
   const U128& owner() const { return owner_; }
+
+  // --- checkpoint/restore (src/ckpt) -------------------------------------
+  void ckpt_save(ckpt::Writer& w) const {
+    auto put_side = [&w](const std::vector<NodeHandle>& side) {
+      w.u32(static_cast<std::uint32_t>(side.size()));
+      for (const NodeHandle& n : side) {
+        w.u128(n.id);
+        w.i64(n.host);
+      }
+    };
+    w.i64(half_);
+    put_side(cw_);
+    put_side(ccw_);
+  }
+  void ckpt_restore(ckpt::Reader& r) {
+    if (static_cast<int>(r.i64()) != half_) {
+      throw ckpt::CkptError("leaf set: half-width mismatch");
+    }
+    auto get_side = [&r, this](std::vector<NodeHandle>& side) {
+      std::uint32_t n = r.u32();
+      if (n > static_cast<std::uint32_t>(half_)) {
+        throw ckpt::CkptError("leaf set: side larger than half-width");
+      }
+      side.clear();
+      side.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        NodeHandle h;
+        h.id = r.u128();
+        h.host = static_cast<net::HostId>(r.i64());
+        side.push_back(h);
+      }
+    };
+    get_side(cw_);
+    get_side(ccw_);
+  }
 
  private:
   // cw_ holds nodes at increasing clockwise distance (id - owner mod 2^128);

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "ckpt/format.h"
 #include "net/topology.h"
 #include "pastry/node_id.h"
 
@@ -48,6 +49,42 @@ class NeighborSet {
 
   bool contains(const NodeHandle& n) const;
   std::size_t size() const { return local_.size() + remote_.size(); }
+
+  // --- checkpoint/restore (src/ckpt) -------------------------------------
+  void ckpt_save(ckpt::Writer& w) const {
+    auto put_side = [&w](const std::vector<NodeHandle>& side) {
+      w.u32(static_cast<std::uint32_t>(side.size()));
+      for (const NodeHandle& n : side) {
+        w.u128(n.id);
+        w.i64(n.host);
+      }
+    };
+    w.u64(local_cap_);
+    w.u64(remote_cap_);
+    put_side(local_);
+    put_side(remote_);
+  }
+  void ckpt_restore(ckpt::Reader& r) {
+    if (r.u64() != local_cap_ || r.u64() != remote_cap_) {
+      throw ckpt::CkptError("neighbor set: slot-quota mismatch");
+    }
+    auto get_side = [&r](std::vector<NodeHandle>& side, std::size_t cap) {
+      std::uint32_t n = r.u32();
+      if (n > cap) {
+        throw ckpt::CkptError("neighbor set: side exceeds its slot quota");
+      }
+      side.clear();
+      side.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        NodeHandle h;
+        h.id = r.u128();
+        h.host = static_cast<net::HostId>(r.i64());
+        side.push_back(h);
+      }
+    };
+    get_side(local_, local_cap_);
+    get_side(remote_, remote_cap_);
+  }
 
  private:
   /// Sort key: (proximity tier, |host index delta|) — deterministic and

@@ -38,6 +38,7 @@ PastryNetwork::PastryNetwork(sim::Simulator* simulator, const net::Topology* top
   if (simulator == nullptr || topo == nullptr) {
     throw std::invalid_argument("PastryNetwork: null simulator/topology");
   }
+  wire_ = std::make_unique<WireCounter[]>(1);
 }
 
 void PastryNetwork::enable_sharding(sim::ParallelRunner* runner,
@@ -45,6 +46,8 @@ void PastryNetwork::enable_sharding(sim::ParallelRunner* runner,
   if (runner == nullptr) {
     runner_ = nullptr;
     shard_of_host_.clear();
+    wire_shards_ = 1;
+    wire_ = std::make_unique<WireCounter[]>(1);
     return;
   }
   if (static_cast<int>(shard_of_host.size()) != topo_->num_hosts()) {
@@ -65,6 +68,8 @@ void PastryNetwork::enable_sharding(sim::ParallelRunner* runner,
   }
   runner_ = runner;
   shard_of_host_ = std::move(shard_of_host);
+  wire_shards_ = static_cast<std::size_t>(runner_->num_shards());
+  wire_ = std::make_unique<WireCounter[]>(wire_shards_);
   if (trace_ != nullptr) trace_->enable_sharded(runner_->num_shards());
 }
 
@@ -234,6 +239,7 @@ void PastryNetwork::send_route(const NodeHandle& from, const NodeHandle& to,
   // key): a separate U128 copy would push the hop closure past EventFn's
   // inline buffer — see the static_assert below.
   auto deliver = [this, from_id, to_handle](RouteMsg m) mutable {
+    wire_dec(to_handle.host);  // this copy is off the wire, whatever happens
     auto it = nodes_.find(to_handle.id);
     if (it == nodes_.end() || !it->second.alive) {
       // Destination dead: surface the failure to the sender after a
@@ -245,13 +251,15 @@ void PastryNetwork::send_route(const NodeHandle& from, const NodeHandle& to,
           shard_of(snode.handle().host) != vb::current_shard()) {
         // The bounce crosses shards: hand it back on the sender's own shard
         // one link latency later (>= lookahead by the sharding contract).
+        wire_inc(snode.handle().host);
         runner_->post(
             shard_of(snode.handle().host),
             simulator_for(to_handle.host).now() +
                 topo_->latency_s(to_handle.host, snode.handle().host),
             [this, from_id, to_handle, m = std::move(m)]() mutable {
               auto s2 = nodes_.find(from_id);
-              if (s2 == nodes_.end() || !s2->second.alive) return;
+              wire_dec(s2->second.node->handle().host);
+              if (!s2->second.alive) return;
               s2->second.node->handle_send_failure(to_handle, &m);
             });
         return;
@@ -270,6 +278,7 @@ void PastryNetwork::send_route(const NodeHandle& from, const NodeHandle& to,
                       static_cast<double>(to.host));
     }
     auto dup = [deliver, m = msg]() mutable { deliver(std::move(m)); };
+    wire_inc(to.host);
     if (cross) {
       runner_->post(shard_of(to.host),
                     src_sim.now() + lat + fault.dup_extra_delay_s,
@@ -285,6 +294,7 @@ void PastryNetwork::send_route(const NodeHandle& from, const NodeHandle& to,
   // the EventFn inline buffer every hop heap-allocates (~15% throughput).
   static_assert(sizeof(primary) <= sim::EventFn::inline_capacity(),
                 "route-hop closure must stay inline; grow kDefaultInlineBytes");
+  wire_inc(to.host);
   if (cross) {
     runner_->post(shard_of(to.host), src_sim.now() + lat + fault.extra_delay_s,
                   std::move(primary));
@@ -319,6 +329,7 @@ void PastryNetwork::send_direct(const NodeHandle& from, const NodeHandle& to,
   NodeHandle to_handle = to;
   auto deliver = [this, from_id, to_id, from_handle, to_handle,
                   p = std::move(payload), category]() {
+    wire_dec(to_handle.host);  // this copy is off the wire, whatever happens
     auto it = nodes_.find(to_id);
     if (it == nodes_.end() || !it->second.alive) {
       auto sit = nodes_.find(from_id);
@@ -326,13 +337,15 @@ void PastryNetwork::send_direct(const NodeHandle& from, const NodeHandle& to,
       PastryNode& snode = *sit->second.node;
       if (runner_ != nullptr &&
           shard_of(snode.handle().host) != vb::current_shard()) {
+        wire_inc(snode.handle().host);
         runner_->post(
             shard_of(snode.handle().host),
             simulator_for(to_handle.host).now() +
                 topo_->latency_s(to_handle.host, snode.handle().host),
             [this, from_id, to_handle]() {
               auto s2 = nodes_.find(from_id);
-              if (s2 == nodes_.end() || !s2->second.alive) return;
+              wire_dec(s2->second.node->handle().host);
+              if (!s2->second.alive) return;
               s2->second.node->handle_send_failure(to_handle, nullptr);
             });
         return;
@@ -350,6 +363,7 @@ void PastryNetwork::send_direct(const NodeHandle& from, const NodeHandle& to,
                       "fault.dup", "fault", "dst_host",
                       static_cast<double>(to.host));
     }
+    wire_inc(to.host);
     if (cross) {
       runner_->post(shard_of(to.host),
                     src_sim.now() + lat + fault.dup_extra_delay_s, deliver);
@@ -357,6 +371,7 @@ void PastryNetwork::send_direct(const NodeHandle& from, const NodeHandle& to,
       src_sim.schedule_in(lat + fault.dup_extra_delay_s, deliver);
     }
   }
+  wire_inc(to.host);
   if (cross) {
     runner_->post(shard_of(to.host), src_sim.now() + lat + fault.extra_delay_s,
                   std::move(deliver));
@@ -459,6 +474,61 @@ void PastryNetwork::stabilize_all() {
       e.node->maintain_routing_table();
     }
   }
+}
+
+void PastryNetwork::ckpt_save(ckpt::Writer& w) const {
+  if (wire_in_flight() != 0) {
+    throw ckpt::CkptError(
+        "pastry save: " + std::to_string(wire_in_flight()) +
+        " transport deliveries still in flight — checkpoints may only be "
+        "taken at a quiesce barrier (wire_in_flight() == 0)");
+  }
+  w.begin_section("pastry");
+  w.i64(last_delivery_hops_);
+  w.u32(static_cast<std::uint32_t>(nodes_.size()));
+  for (const auto& [id, e] : nodes_) {
+    w.u128(id);
+    w.boolean(e.alive);
+    w.u64(e.fault_seq);
+    for (std::uint64_t v : e.counters.msgs_sent) w.u64(v);
+    for (std::uint64_t v : e.counters.bytes_sent) w.u64(v);
+    w.u64(e.counters.fault_dropped_msgs);
+    w.u64(e.counters.fault_dup_msgs);
+    e.node->ckpt_save(w);
+  }
+  w.end_section();
+}
+
+void PastryNetwork::ckpt_restore(ckpt::Reader& r) {
+  r.enter_section("pastry");
+  last_delivery_hops_ = static_cast<int>(r.i64());
+  if (r.u32() != nodes_.size()) {
+    throw ckpt::CkptError(
+        "pastry restore: node count differs from the reconstruction");
+  }
+  for (auto& [id, e] : nodes_) {
+    // nodes_ is id-ordered and the save loop walked the same order, so the
+    // ids must line up one-to-one.
+    if (r.u128() != id) {
+      throw ckpt::CkptError("pastry restore: node id mismatch at " +
+                            id.short_hex() +
+                            " — reconstruction created different nodes");
+    }
+    bool alive = r.boolean();
+    if (alive && !e.alive) {
+      throw ckpt::CkptError("pastry restore: node " + id.short_hex() +
+                            " is dead in the reconstruction but alive in the "
+                            "checkpoint");
+    }
+    e.alive = alive;  // re-kill nodes that had failed by checkpoint time
+    e.fault_seq = r.u64();
+    for (std::uint64_t& v : e.counters.msgs_sent) v = r.u64();
+    for (std::uint64_t& v : e.counters.bytes_sent) v = r.u64();
+    e.counters.fault_dropped_msgs = r.u64();
+    e.counters.fault_dup_msgs = r.u64();
+    e.node->ckpt_restore(r);
+  }
+  r.exit_section();
 }
 
 }  // namespace vb::pastry

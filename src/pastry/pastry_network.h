@@ -7,11 +7,13 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "ckpt/format.h"
 #include "net/topology.h"
 #include "pastry/pastry_node.h"
 #include "sim/fault_plan.h"
@@ -169,6 +171,32 @@ class PastryNetwork {
   /// between protocol phases to mimic Pastry's periodic maintenance).
   void stabilize_all();
 
+  // --- checkpoint/restore (src/ckpt) -------------------------------------
+  /// Scheduled-but-undelivered transport copies (primary, fault duplicates,
+  /// cross-shard failure bounces).  Zero is the quiesce-barrier condition:
+  /// every pending event is then a periodic tick or a component-owned timer.
+  /// Relaxed atomics — only read at barriers, never raced mid-window
+  /// (each counter is touched by its destination shard's worker plus
+  /// senders *scheduling into* that shard, which the runner's mailbox
+  /// machinery already orders).
+  std::int64_t wire_in_flight() const {
+    std::int64_t n = 0;
+    for (std::size_t s = 0; s < wire_shards_; ++s) {
+      n += wire_[s].n.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  /// Serializes per-node transport entries (liveness, traffic counters,
+  /// keyed-fault ordinals) and each node's protocol state.  Must be called
+  /// at a quiesce barrier; throws CkptError if wire_in_flight() != 0.
+  void ckpt_save(ckpt::Writer& w) const;
+
+  /// Restores entries and nodes.  The reconstruction must contain the same
+  /// node ids (all alive — restore re-kills the dead ones); mismatches
+  /// throw CkptError.
+  void ckpt_restore(ckpt::Reader& r);
+
  private:
   struct Entry {
     std::unique_ptr<PastryNode> node;
@@ -187,6 +215,21 @@ class PastryNetwork {
   sim::FaultDecision consult_fault_plan(const NodeHandle& from,
                                         const NodeHandle& to, Entry& sender);
 
+  // One in-flight counter per destination shard, cache-line padded so shard
+  // workers don't false-share.  A raw array: std::vector<atomic> cannot be
+  // resized, and the count is fixed once sharding is configured.
+  struct alignas(64) WireCounter {
+    std::atomic<std::int64_t> n{0};
+  };
+  void wire_inc(net::HostId dst) {
+    wire_[static_cast<std::size_t>(shard_of(dst))].n.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void wire_dec(net::HostId dst) {
+    wire_[static_cast<std::size_t>(shard_of(dst))].n.fetch_sub(
+        1, std::memory_order_relaxed);
+  }
+
   sim::Simulator* sim_;
   const net::Topology* topo_;
   std::map<U128, Entry> nodes_;  // ordered: gives ring order for oracle ops
@@ -195,6 +238,8 @@ class PastryNetwork {
   sim::ParallelRunner* runner_ = nullptr;  // non-null = sharded mode
   std::vector<int> shard_of_host_;
   int last_delivery_hops_ = 0;
+  std::unique_ptr<WireCounter[]> wire_;
+  std::size_t wire_shards_ = 1;
 };
 
 }  // namespace vb::pastry

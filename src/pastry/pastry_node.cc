@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 
+#include "ckpt/payload_codec.h"
 #include "obs/trace.h"
 #include "pastry/pastry_internal.h"
 #include "pastry/pastry_network.h"
@@ -380,6 +381,78 @@ void PastryNode::handle_send_failure(const NodeHandle& dead,
     // Reroute around the failure with our repaired tables.
     handle_route_msg(std::move(*undelivered));
   }
+}
+
+void PastryNode::ckpt_save(ckpt::Writer& w) const {
+  w.begin_section("node");
+  w.i64(next_maintenance_row_);
+  table_.ckpt_save(w);
+  leafs_.ckpt_save(w);
+  neighbors_.ckpt_save(w);
+  w.u64(next_reliable_seq_);
+  w.u32(static_cast<std::uint32_t>(seen_reliable_.size()));
+  for (const auto& [sender, seqs] : seen_reliable_) {
+    w.u128(sender);
+    w.u32(static_cast<std::uint32_t>(seqs.size()));
+    for (std::uint64_t s : seqs) w.u64(s);
+  }
+  sim::Simulator& sim = network_->simulator_for(handle_.host);
+  w.u32(static_cast<std::uint32_t>(pending_reliable_.size()));
+  for (const auto& [seq, p] : pending_reliable_) {
+    w.u64(seq);
+    w.u128(p.dest.id);
+    w.i64(p.dest.host);
+    ckpt::PayloadCodec::encode(w, *p.envelope);
+    w.i64(p.attempts);
+    w.f64(p.rto_s);
+    // At a quiesce barrier an unacked send always has an armed timer: it is
+    // cancelled only together with erasure (ack / give-up / peer death).
+    w.f64(sim.event_time(p.timer));
+    w.u64(sim.event_seq(p.timer));
+  }
+  w.end_section();
+}
+
+void PastryNode::ckpt_restore(ckpt::Reader& r) {
+  r.enter_section("node");
+  next_maintenance_row_ = static_cast<int>(r.i64());
+  table_.ckpt_restore(r);
+  leafs_.ckpt_restore(r);
+  neighbors_.ckpt_restore(r);
+  next_reliable_seq_ = r.u64();
+  seen_reliable_.clear();
+  std::uint32_t senders = r.u32();
+  for (std::uint32_t i = 0; i < senders; ++i) {
+    U128 sender = r.u128();
+    auto& seqs = seen_reliable_[sender];
+    std::uint32_t n = r.u32();
+    for (std::uint32_t k = 0; k < n; ++k) seqs.insert(r.u64());
+  }
+  sim::Simulator& sim = network_->simulator_for(handle_.host);
+  for (auto& [seq, p] : pending_reliable_) sim.cancel(p.timer);
+  pending_reliable_.clear();
+  std::uint32_t pending_n = r.u32();
+  for (std::uint32_t i = 0; i < pending_n; ++i) {
+    std::uint64_t seq = r.u64();
+    PendingReliable p;
+    p.dest.id = r.u128();
+    p.dest.host = static_cast<net::HostId>(r.i64());
+    p.envelope = ckpt::PayloadCodec::decode(r);
+    if (std::dynamic_pointer_cast<const internal::ReliableEnvelope>(
+            p.envelope) == nullptr) {
+      throw ckpt::CkptError(
+          "pastry node restore: pending-reliable entry does not decode to a "
+          "ReliableEnvelope");
+    }
+    p.attempts = static_cast<int>(r.i64());
+    p.rto_s = r.f64();
+    double fire = r.f64();
+    std::uint64_t event_seq = r.u64();
+    p.timer = sim.schedule_at_with_seq(
+        fire, event_seq, [this, seq]() { retransmit_reliable(seq); });
+    pending_reliable_.emplace(seq, std::move(p));
+  }
+  r.exit_section();
 }
 
 }  // namespace vb::pastry

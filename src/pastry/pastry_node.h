@@ -134,6 +134,17 @@ class PastryNode {
   const NeighborSet& neighbor_set() const { return neighbors_; }
   PastryNetwork& network() { return *network_; }
 
+  // --- checkpoint/restore (src/ckpt) -------------------------------------
+  /// Serializes the three tables, the maintenance cursor, and the reliable
+  /// channel (dedup sets plus every unacked envelope with its retransmit
+  /// timer's fire time/seq).  Envelope payloads go through the
+  /// ckpt::PayloadCodec registry.
+  void ckpt_save(ckpt::Writer& w) const;
+
+  /// Overwrites the same state and re-arms each retransmit timer at its
+  /// original (fire time, event seq).
+  void ckpt_restore(ckpt::Reader& r);
+
  private:
   /// One reliable send awaiting its ack.
   struct PendingReliable {

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "ckpt/format.h"
 #include "pastry/node_id.h"
 
 namespace vb::pastry {
@@ -67,6 +68,36 @@ class RoutingTable {
   std::size_t size() const { return populated_; }
 
   const U128& owner() const { return owner_; }
+
+  // --- checkpoint/restore (src/ckpt) -------------------------------------
+  void ckpt_save(ckpt::Writer& w) const {
+    w.u32(static_cast<std::uint32_t>(cells_.size()));
+    for (const auto& cell : cells_) {
+      w.boolean(cell.has_value());
+      if (!cell.has_value()) continue;
+      w.u128(cell->node.id);
+      w.i64(cell->node.host);
+      w.i64(cell->proximity);
+    }
+  }
+  void ckpt_restore(ckpt::Reader& r) {
+    if (r.u32() != cells_.size()) {
+      throw ckpt::CkptError("routing table: cell count mismatch");
+    }
+    populated_ = 0;
+    for (auto& cell : cells_) {
+      if (!r.boolean()) {
+        cell.reset();
+        continue;
+      }
+      RouteEntry e;
+      e.node.id = r.u128();
+      e.node.host = static_cast<net::HostId>(r.i64());
+      e.proximity = static_cast<int>(r.i64());
+      cell = e;
+      ++populated_;
+    }
+  }
 
  private:
   int cell_index(int row, int col) const { return row * kIdBase + col; }

@@ -131,6 +131,13 @@ class ScribeNode : public pastry::PastryApp {
   pastry::PastryNode& owner() { return *owner_; }
   const pastry::PastryNode& owner() const { return *owner_; }
 
+  // --- checkpoint/restore (src/ckpt) -------------------------------------
+  /// Serializes every group's tree state (all plain data: Scribe owns no
+  /// one-shot timers — JOIN retry is a deadline field scanned by the
+  /// periodic maintenance() tick).  Implemented in scribe_ckpt.cc.
+  void ckpt_save(ckpt::Writer& w) const;
+  void ckpt_restore(ckpt::Reader& r);
+
   // --- PastryApp interface ----------------------------------------------
   void deliver(pastry::PastryNode& self, const pastry::RouteMsg& msg) override;
   bool forward(pastry::PastryNode& self, pastry::RouteMsg& msg,

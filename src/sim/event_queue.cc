@@ -66,6 +66,52 @@ bool EventQueue::pending(EventId id) const {
   return s.armed && s.gen == gen;
 }
 
+SimTime EventQueue::event_time(EventId id) const {
+  if (!pending(id)) {
+    throw std::logic_error("EventQueue::event_time: id not pending");
+  }
+  return slot_at(static_cast<std::uint32_t>(id & 0xFFFFFFFFu)).time;
+}
+
+std::uint64_t EventQueue::event_seq(EventId id) const {
+  if (!pending(id)) {
+    throw std::logic_error("EventQueue::event_seq: id not pending");
+  }
+  return slot_at(static_cast<std::uint32_t>(id & 0xFFFFFFFFu)).seq;
+}
+
+void EventQueue::clear_pending() {
+  for (auto& chunk : chunks_) {
+    for (std::uint32_t i = 0; i < kChunkSize; ++i) {
+      Slot& s = chunk[i];
+      s.fn.reset();
+      s.armed = false;
+      ++s.gen;  // invalidates every outstanding EventId
+    }
+  }
+  // Rebuild the free list so pops hand out ascending slot indices.  (Slot
+  // choice never affects drain order: restored keys carry unique seqs, so
+  // the slot bits in a key are never the deciding comparison.)
+  free_.clear();
+  for (std::uint32_t i =
+           static_cast<std::uint32_t>(chunks_.size()) << kChunkShift;
+       i-- > 0;) {
+    free_.push_back(i);
+  }
+  run_.clear();
+  run_idx_ = 0;
+  for (auto& bucket : wheel_) bucket.clear();
+  std::fill(occupied_.begin(), occupied_.end(), 0);
+  wheel_count_ = 0;
+  cur_vb_ = 0;
+  width_ = kInitialWidth;
+  overflow_.clear();
+  live_ = 0;
+  drained_keys_ = 0;
+  tune_time_ = 0.0;
+  tune_drained_ = 0;
+}
+
 void EventQueue::place_key(HeapKey k) {
   const SimTime t = time_of(k);
   if (run_idx_ == run_.size() && wheel_count_ == 0 && overflow_.empty()) {

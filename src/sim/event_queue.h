@@ -73,8 +73,27 @@ class EventQueue {
     Slot& s = slot_at(slot);
     s.fn = std::forward<F>(action);  // in-place construct (or move)
     s.armed = true;
+    s.time = t;
+    s.seq = next_seq_;
     place_key(make_key(t, next_seq_, slot));
     ++next_seq_;
+    ++live_;
+    return (static_cast<EventId>(s.gen) << 32) | slot;
+  }
+
+  /// Checkpoint-restore path: enqueues `action` with an explicit (time, seq)
+  /// pair captured from a previous run, re-creating that run's FIFO
+  /// tie-breaking exactly.  Does not advance the seq counter; the caller
+  /// restores it afterwards via restore_counters().
+  template <class F>
+  EventId push_with_seq(SimTime t, std::uint64_t seq, F&& action) {
+    std::uint32_t slot = acquire_slot();
+    Slot& s = slot_at(slot);
+    s.fn = std::forward<F>(action);
+    s.armed = true;
+    s.time = t;
+    s.seq = seq;
+    place_key(make_key(t, seq, slot));
     ++live_;
     return (static_cast<EventId>(s.gen) << 32) | slot;
   }
@@ -114,6 +133,28 @@ class EventQueue {
 
   /// Total number of events cancelled before firing.
   std::uint64_t total_cancelled() const { return cancelled_; }
+
+  /// Fire time of a pending event (checkpoint bookkeeping).  `id` must be
+  /// pending (see pending()); throws otherwise.
+  SimTime event_time(EventId id) const;
+
+  /// FIFO tie-break seq of a pending event.  `id` must be pending.
+  std::uint64_t event_seq(EventId id) const;
+
+  /// Checkpoint restore: overwrites the push/cancel counters with values
+  /// captured from a previous run, after the pending set has been rebuilt
+  /// with push_with_seq().
+  void restore_counters(std::uint64_t next_seq, std::uint64_t cancelled) {
+    next_seq_ = next_seq;
+    cancelled_ = cancelled;
+  }
+
+  /// Destroys every pending callback and resets the ordering structures to
+  /// an empty state (counters are left for restore_counters()).  All
+  /// outstanding EventIds are invalidated.  Used by checkpoint restore to
+  /// discard the reconstruction's events before re-pushing the serialized
+  /// pending set.
+  void clear_pending();
 
  private:
   // Key: one 128-bit integer, high half the event time's IEEE-754 bit
@@ -160,6 +201,8 @@ class EventQueue {
   // `gen` validates EventId tickets across reuse.
   struct Slot {
     EventFn fn;
+    SimTime time = 0.0;     // fire time, valid while armed (ckpt bookkeeping)
+    std::uint64_t seq = 0;  // FIFO tie-break, valid while armed
     std::uint32_t gen = 1;
     bool armed = false;
   };

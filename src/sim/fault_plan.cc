@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <iomanip>
@@ -238,6 +239,24 @@ struct DescribeCursor {
     p = end;
     return v;
   }
+  // The seed is a full uint64 (describe() prints it unsigned); strtoll
+  // would saturate anything above INT64_MAX and break the round-trip.
+  std::uint64_t unsigned_integer() {
+    if (!ok) return 0;
+    if (*p == '-') {
+      ok = false;  // strtoull silently wraps negatives
+      return 0;
+    }
+    char* end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p || errno == ERANGE) {
+      ok = false;
+      return 0;
+    }
+    p = end;
+    return v;
+  }
 };
 
 void append_json_time(std::ostringstream& os, double t) {
@@ -254,9 +273,9 @@ std::optional<FaultPlan> FaultPlan::parse_describe(const std::string& text) {
   DescribeCursor c{text.c_str()};
   c.skip_ws();
   if (!c.eat("seed=")) return std::nullopt;
-  long long seed = c.integer();
-  if (!c.ok || seed < 0) return std::nullopt;
-  FaultPlan plan(static_cast<std::uint64_t>(seed));
+  std::uint64_t seed = c.unsigned_integer();
+  if (!c.ok) return std::nullopt;
+  FaultPlan plan(seed);
 
   while (c.ok) {
     c.skip_ws();

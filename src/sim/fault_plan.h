@@ -106,6 +106,11 @@ class FaultPlan {
   /// (seed, plan)" object for a bit-identical replay.
   FaultPlan fresh() const;
 
+  /// Checkpoint accessors for the serial decide() path's Rng — the only
+  /// state decide() mutates.  decide_keyed() is const and needs nothing.
+  Rng::State ckpt_rng_state() const { return rng_.ckpt_state(); }
+  void ckpt_restore_rng(const Rng::State& s) { rng_.ckpt_restore(s); }
+
   std::uint64_t seed() const { return seed_; }
   const std::vector<FaultWindow>& windows() const { return windows_; }
   const std::vector<PartitionWindow>& partitions() const { return partitions_; }

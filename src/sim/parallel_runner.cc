@@ -173,6 +173,49 @@ void ParallelRunner::run_until(SimTime t) {
   window_end_ = t;
 }
 
+void ParallelRunner::ckpt_save(ckpt::Writer& w) const {
+  w.begin_section("runner");
+  w.u32(static_cast<std::uint32_t>(shards_.size()));
+  w.f64(lookahead_);
+  w.f64(now_);
+  w.u64(posts_drained_);
+  w.u64(windows_run_);
+  for (const auto& s : shards_) {
+    if (!s->outbox.empty()) {
+      throw ckpt::CkptError(
+          "runner: outbox not empty — checkpoint only at a barrier "
+          "(after run_until returns)");
+    }
+    w.u64(s->next_post_seq);
+    s->sim.ckpt_save(w);
+  }
+  w.end_section();
+}
+
+void ParallelRunner::ckpt_restore(ckpt::Reader& r) {
+  r.enter_section("runner");
+  std::uint32_t n = r.u32();
+  if (n != shards_.size()) {
+    throw ckpt::CkptError("runner: shard count mismatch (checkpoint " +
+                          std::to_string(n) + ", reconstruction " +
+                          std::to_string(shards_.size()) + ")");
+  }
+  double la = r.f64();
+  if (la != lookahead_) {
+    throw ckpt::CkptError("runner: lookahead mismatch with reconstruction");
+  }
+  now_ = r.f64();
+  posts_drained_ = r.u64();
+  windows_run_ = r.u64();
+  for (auto& s : shards_) {
+    s->outbox.clear();
+    s->next_post_seq = r.u64();
+    s->sim.ckpt_restore(r);
+  }
+  window_end_ = now_;
+  r.exit_section();
+}
+
 void ParallelRunner::start_pool() {
   pool_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int w = 1; w < threads_; ++w) {

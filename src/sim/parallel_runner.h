@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/format.h"
 #include "common/shard_context.h"
 #include "sim/simulator.h"
 
@@ -126,6 +127,17 @@ class ParallelRunner {
   /// only, never of the thread count — the replay contract for seeded
   /// chaos under parallel execution.
   static std::uint64_t shard_seed(std::uint64_t master_seed, int shard);
+
+  // --- checkpoint/restore (src/ckpt) -------------------------------------
+  /// Serializes the runner clock, barrier accounting, and every shard's
+  /// simulator (clock, counters, periodic slab).  Must be called at a
+  /// barrier (i.e. after run_until returned): all outboxes are empty then;
+  /// throws CkptError otherwise.  One-shot timers are serialized by their
+  /// owning components, exactly as in the serial case.
+  void ckpt_save(ckpt::Writer& w) const;
+  /// Restores into a runner built with the same (num_shards, lookahead);
+  /// the thread count is free to differ — it never affects results.
+  void ckpt_restore(ckpt::Reader& r);
 
  private:
   struct Envelope {

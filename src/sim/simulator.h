@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "ckpt/format.h"
 #include "sim/event_queue.h"
 
 namespace vb::sim {
@@ -116,6 +117,37 @@ class Simulator {
 
   /// Number of events cancelled before firing.
   std::uint64_t events_cancelled() const { return queue_.total_cancelled(); }
+
+  // --- Checkpoint/restore (src/ckpt) -------------------------------------
+
+  /// Checkpoint-restore path: schedules `action` at an absolute (time, seq)
+  /// captured from a previous run, reproducing that run's FIFO tie-breaking
+  /// exactly.  Does not advance the seq counter.
+  template <class F>
+  EventId schedule_at_with_seq(SimTime t, std::uint64_t seq, F&& action) {
+    if (t < now_) throw std::invalid_argument("Simulator: schedule in the past");
+    return queue_.push_with_seq(t, seq, std::forward<F>(action));
+  }
+
+  /// Fire time / FIFO seq of a pending one-shot event (ckpt bookkeeping).
+  SimTime event_time(EventId id) const { return queue_.event_time(id); }
+  std::uint64_t event_seq(EventId id) const { return queue_.event_seq(id); }
+
+  /// Number of live (pending, uncancelled) events — restore verification.
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Serializes the clock, the event counters, and the periodic slab.
+  /// One-shot timers are serialized by the components that own them.
+  void ckpt_save(ckpt::Writer& w) const;
+
+  /// Discards every pending event from the reconstruction, restores the
+  /// clock/counters, and re-arms each periodic tick at its original
+  /// (fire time, seq).  The reconstruction must have created the periodic
+  /// slab in the original order (same setup sequence); any mismatch in slab
+  /// size, period, or until throws CkptError.  After this call the owning
+  /// components must re-arm their one-shot timers via
+  /// schedule_at_with_seq(); until then the queue holds only periodics.
+  void ckpt_restore(ckpt::Reader& r);
 
  private:
   // One recurring task, stored in a recycled slab so a periodic's action is

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "aggregation/aggregation_tree.h"
+#include "ckpt/format.h"
 #include "common/stats.h"
 #include "hostmodel/host.h"
 #include "net/topology.h"
@@ -140,6 +141,28 @@ class VBundleCloud {
   double utilization_stddev() const;
   /// Count of servers whose utilization exceeds `threshold`.
   int overloaded_servers(double threshold) const;
+
+  // --- checkpoint/restore (src/ckpt) ---------------------------------------
+  /// Steps the simulator to the next quiesce barrier: no message in flight
+  /// on the wire.  Pending component timers are fine — they are serialized
+  /// with their (fire_time, event_seq) and re-armed on restore.  Stepping
+  /// executes events in exactly the (time, seq) order an uninterrupted
+  /// run_until would, so taking a checkpoint never perturbs the run.
+  void quiesce();
+
+  /// Quiesces, then serializes the complete dynamic state of the stack into
+  /// a versioned, CRC-guarded image (see docs/ARCHITECTURE.md).
+  std::vector<std::uint8_t> save_checkpoint();
+
+  /// Restores an image into a freshly reconstructed cloud: build a cloud
+  /// with the same CloudConfig, re-run the deterministic setup (customers,
+  /// fault plan, trace recorder, start_rebalancing with the same phases,
+  /// demand model) WITHOUT running the simulator further, then call this.
+  /// All dynamic state is overwritten and every timer re-armed at its
+  /// original (fire_time, event_seq); the resumed run is bit-identical to
+  /// one that never stopped.  Throws ckpt::CkptError on any mismatch
+  /// between the image and the reconstruction.
+  void restore_checkpoint(const std::vector<std::uint8_t>& image);
 
   // --- component access ----------------------------------------------------
   host::Fleet& fleet() { return *fleet_; }

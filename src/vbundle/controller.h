@@ -88,7 +88,8 @@ using AgentDirectory = std::vector<VBundleAgent*>;
 
 class VBundleAgent : public pastry::PastryApp,
                      public scribe::ScribeApp,
-                     public agg::AggregationListener {
+                     public agg::AggregationListener,
+                     public ShuffleClient {
  public:
   VBundleAgent(pastry::PastryNode* node, scribe::ScribeNode* scribe,
                agg::AggregationAgent* aggregation, host::Fleet* fleet,
@@ -162,6 +163,19 @@ class VBundleAgent : public pastry::PastryApp,
   /// pending for `vm`.
   void release_accepted(host::VmId vm);
 
+  // --- ShuffleClient ------------------------------------------------------
+  /// Shedder-side cutover bookkeeping for a shuffle migration started via
+  /// MigrationManager::start_shuffle.
+  void shuffle_migration_done(const ShuffleRecord& rec) override;
+
+  // --- checkpoint/restore (src/ckpt) --------------------------------------
+  /// Serializes role, cluster globals, pending demand bookkeeping, shed-loop
+  /// state, receiver holds, stats, and every armed one-shot timer (query
+  /// timeouts — including stale ones awaiting their no-op fire — and accept
+  /// leases).  Throws CkptError if a boot placement is in flight.
+  void ckpt_save(ckpt::Writer& w) const;
+  void ckpt_restore(ckpt::Reader& r);
+
  private:
   // placement.cc
   void handle_boot_query(const BootQueryMsg& q);
@@ -175,6 +189,13 @@ class VBundleAgent : public pastry::PastryApp,
   void try_shed();
   host::VmId pick_vm_to_shed() const;
   double demand_discount_outbound() const;
+  /// Arms (or re-arms at restore) the shedder-side reply timeout for query
+  /// `seq` and tracks it in query_timers_ so checkpoints can serialize it.
+  void arm_query_timeout(std::uint64_t seq, std::uint64_t trace);
+  void query_timeout_fired(std::uint64_t seq, std::uint64_t trace);
+  /// Arms the receiver-side hold lease for `vm`; returns the timer id.
+  sim::EventId arm_lease(host::VmId vm);
+  void lease_expired(host::VmId vm);
 
   pastry::PastryNode* node_;
   scribe::ScribeNode* scribe_;
@@ -204,6 +225,16 @@ class VBundleAgent : public pastry::PastryApp,
   bool query_in_flight_ = false;
   std::uint64_t query_seq_ = 0;
   int sheds_this_round_ = 0;
+  /// Every armed query-timeout timer, including stale ones (timers are
+  /// never cancelled — the seq guard makes stale fires no-ops, and each
+  /// fire counts toward the simulator's executed-event total, so
+  /// checkpoints must carry all of them to keep a resumed run bit-exact).
+  struct QueryTimer {
+    std::uint64_t seq = 0;
+    std::uint64_t trace = 0;
+    sim::EventId timer{};
+  };
+  std::vector<QueryTimer> query_timers_;
   /// VMs the Less-Loaded tree refused this round (reservation fits nowhere).
   std::set<host::VmId> unshedable_this_round_;
 

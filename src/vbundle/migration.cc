@@ -1,6 +1,7 @@
 #include "vbundle/migration.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace vb::core {
 
@@ -36,6 +37,7 @@ sim::SimTime MigrationManager::start(host::VmId vm, int dst_host,
   v.migrating = true;
   double dur = duration_s(v);
   ++started_;
+  ++in_flight_generic_;
   total_downtime_s_ += cfg_.downtime_s;
   total_megabits_ += v.spec.ram_mb * 8.0;
   sim::SimTime done_at = sim_->now() + dur;
@@ -43,9 +45,104 @@ sim::SimTime MigrationManager::start(host::VmId vm, int dst_host,
     // Cutover: the receiver's hold becomes the real reservation.
     fleet_->migrate(vm, dst_host, /*consume_hold=*/true);
     ++completed_;
+    --in_flight_generic_;
     if (cb) cb(vm, dst_host);
   });
   return done_at;
+}
+
+sim::SimTime MigrationManager::start_shuffle(const ShuffleRecord& rec,
+                                             ShuffleClient* client) {
+  if (client == nullptr) {
+    throw std::invalid_argument("MigrationManager::start_shuffle: null client");
+  }
+  host::Vm& v = fleet_->vm(rec.vm);
+  if (v.host == -1) throw std::logic_error("MigrationManager: VM not placed");
+  if (v.migrating) throw std::logic_error("MigrationManager: already migrating");
+  v.migrating = true;
+  double dur = duration_s(v);
+  ++started_;
+  total_downtime_s_ += cfg_.downtime_s;
+  total_megabits_ += v.spec.ram_mb * 8.0;
+  sim::SimTime done_at = sim_->now() + dur;
+  InFlightShuffle inf;
+  inf.rec = rec;
+  inf.client = client;
+  inf.timer = sim_->schedule_at(done_at,
+                                [this, vm = rec.vm]() { finish_shuffle(vm); });
+  shuffles_[rec.vm] = inf;
+  return done_at;
+}
+
+void MigrationManager::finish_shuffle(host::VmId vm) {
+  auto it = shuffles_.find(vm);
+  if (it == shuffles_.end()) {
+    throw std::logic_error("MigrationManager: unknown shuffle completion");
+  }
+  InFlightShuffle inf = it->second;
+  shuffles_.erase(it);
+  // Cutover: the receiver's hold becomes the real reservation.
+  fleet_->migrate(inf.rec.vm, inf.rec.dst_host, /*consume_hold=*/true);
+  ++completed_;
+  inf.client->shuffle_migration_done(inf.rec);
+}
+
+void MigrationManager::ckpt_save(ckpt::Writer& w) const {
+  if (in_flight_generic_ != 0) {
+    throw ckpt::CkptError(
+        "migration: " + std::to_string(in_flight_generic_) +
+        " closure-based migration(s) in flight; only shuffle migrations "
+        "(start_shuffle) are checkpointable");
+  }
+  w.begin_section("migration");
+  w.u64(started_);
+  w.u64(completed_);
+  w.f64(total_downtime_s_);
+  w.f64(total_megabits_);
+  w.u32(static_cast<std::uint32_t>(shuffles_.size()));
+  for (const auto& [vm, inf] : shuffles_) {
+    w.i64(inf.rec.vm);
+    w.i64(inf.rec.dst_host);
+    w.i64(inf.rec.src_host);
+    w.f64(inf.rec.moved_demand);
+    w.f64(inf.rec.moved_cpu);
+    w.u64(inf.rec.trace);
+    w.f64(sim_->event_time(inf.timer));
+    w.u64(sim_->event_seq(inf.timer));
+  }
+  w.end_section();
+}
+
+void MigrationManager::ckpt_restore(
+    ckpt::Reader& r, const std::function<ShuffleClient*(int)>& resolve) {
+  r.enter_section("migration");
+  started_ = r.u64();
+  completed_ = r.u64();
+  total_downtime_s_ = r.f64();
+  total_megabits_ = r.f64();
+  in_flight_generic_ = 0;
+  shuffles_.clear();
+  std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    InFlightShuffle inf;
+    inf.rec.vm = static_cast<host::VmId>(r.i64());
+    inf.rec.dst_host = static_cast<int>(r.i64());
+    inf.rec.src_host = static_cast<int>(r.i64());
+    inf.rec.moved_demand = r.f64();
+    inf.rec.moved_cpu = r.f64();
+    inf.rec.trace = r.u64();
+    sim::SimTime fire = r.f64();
+    std::uint64_t seq = r.u64();
+    inf.client = resolve(inf.rec.src_host);
+    if (inf.client == nullptr) {
+      throw ckpt::CkptError("migration: no shuffle client for host " +
+                            std::to_string(inf.rec.src_host));
+    }
+    inf.timer = sim_->schedule_at_with_seq(
+        fire, seq, [this, vm = inf.rec.vm]() { finish_shuffle(vm); });
+    shuffles_[inf.rec.vm] = inf;
+  }
+  r.exit_section();
 }
 
 }  // namespace vb::core

@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 
+#include "ckpt/format.h"
 #include "hostmodel/host.h"
 #include "sim/simulator.h"
 
@@ -31,6 +33,27 @@ struct MigrationConfig {
   double cost_factor = 0.0;
 };
 
+/// Everything the shuffler needs to finish a shed after cutover.  Plain data
+/// so an in-flight migration can ride a checkpoint and be re-armed on
+/// restore (src/ckpt).
+struct ShuffleRecord {
+  host::VmId vm = -1;
+  int dst_host = -1;
+  int src_host = -1;          ///< shedder that owns the completion callback
+  double moved_demand = 0.0;  ///< capped bandwidth demand moved off the source
+  double moved_cpu = 0.0;     ///< capped CPU demand moved off the source
+  std::uint64_t trace = 0;    ///< shuffle cascade span id
+};
+
+/// Completion sink for shuffle-initiated migrations.  Implemented by the
+/// per-host VBundleAgent; keeping the interface here avoids a circular
+/// include with controller.h.
+class ShuffleClient {
+ public:
+  virtual ~ShuffleClient() = default;
+  virtual void shuffle_migration_done(const ShuffleRecord& rec) = 0;
+};
+
 /// Tracks in-flight migrations and applies them to the fleet when done.
 class MigrationManager {
  public:
@@ -49,8 +72,18 @@ class MigrationManager {
   /// Starts a live migration to `dst_host` (which must already hold the
   /// reservation via Host::hold).  `on_done(vm, dst)` fires at cutover.
   /// Returns the expected completion time.
+  ///
+  /// Generic entry point for baselines and tests; migrations started this
+  /// way carry an opaque closure and therefore CANNOT ride a checkpoint —
+  /// ckpt_save throws while any are in flight.  The shuffler uses
+  /// start_shuffle instead.
   sim::SimTime start(host::VmId vm, int dst_host,
                      std::function<void(host::VmId, int)> on_done);
+
+  /// Starts a shuffle migration described by `rec`; at cutover the fleet is
+  /// updated and `client->shuffle_migration_done(rec)` fires.  Fully
+  /// serializable: an in-flight shuffle survives checkpoint/restore.
+  sim::SimTime start_shuffle(const ShuffleRecord& rec, ShuffleClient* client);
 
   std::uint64_t started() const { return started_; }
   std::uint64_t completed() const { return completed_; }
@@ -58,14 +91,33 @@ class MigrationManager {
   double total_downtime_s() const { return total_downtime_s_; }
   double total_megabits_moved() const { return total_megabits_; }
 
+  // --- checkpoint/restore (src/ckpt) -------------------------------------
+  /// Serializes counters and every in-flight shuffle migration (record plus
+  /// its completion timer's (fire_time, event_seq)).  Throws CkptError if a
+  /// closure-based generic migration is in flight.
+  void ckpt_save(ckpt::Writer& w) const;
+  /// `resolve` maps a ShuffleRecord::src_host to its completion sink (the
+  /// reconstructed agent on that host).
+  void ckpt_restore(ckpt::Reader& r,
+                    const std::function<ShuffleClient*(int)>& resolve);
+
  private:
+  struct InFlightShuffle {
+    ShuffleRecord rec;
+    ShuffleClient* client = nullptr;
+    sim::EventId timer{};
+  };
+  void finish_shuffle(host::VmId vm);
+
   sim::Simulator* sim_;
   host::Fleet* fleet_;
   MigrationConfig cfg_;
   std::uint64_t started_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t in_flight_generic_ = 0;
   double total_downtime_s_ = 0.0;
   double total_megabits_ = 0.0;
+  std::map<host::VmId, InFlightShuffle> shuffles_;
 };
 
 }  // namespace vb::core

@@ -208,20 +208,47 @@ void VBundleAgent::try_shed() {
   // nor failure makes it back (both can die under chaos even with
   // retransmission), declare the query dead and move on.  The seq guard
   // makes stale timers no-ops, so nothing needs cancelling.
-  std::uint64_t seq = query_seq_;
-  node_->network().simulator_for(node_->host()).schedule_in(
-      cfg_->query_timeout_s, [this, seq, trace]() {
-        if (!query_in_flight_ || seq != query_seq_) return;
-        query_in_flight_ = false;
-        ++stats_.query_timeouts;
-        if (obs::TraceRecorder* tr = node_->network().trace()) {
-          tr->end(node_->network().simulator_for(node_->host()).now(), trace,
-                  static_cast<int>(node_->handle().host), "vbundle.shuffle",
-                  "vbundle", "timeout", 1.0);
-        }
-        try_shed();
-      });
+  arm_query_timeout(query_seq_, trace);
   scribe_->anycast(topics_.less_loaded, std::move(q), MsgCategory::kVBundle);
+}
+
+void VBundleAgent::arm_query_timeout(std::uint64_t seq, std::uint64_t trace) {
+  QueryTimer qt;
+  qt.seq = seq;
+  qt.trace = trace;
+  qt.timer = node_->network().simulator_for(node_->host()).schedule_in(
+      cfg_->query_timeout_s,
+      [this, seq, trace]() { query_timeout_fired(seq, trace); });
+  query_timers_.push_back(qt);
+}
+
+void VBundleAgent::query_timeout_fired(std::uint64_t seq, std::uint64_t trace) {
+  for (auto it = query_timers_.begin(); it != query_timers_.end(); ++it) {
+    if (it->seq == seq) {
+      query_timers_.erase(it);
+      break;
+    }
+  }
+  if (!query_in_flight_ || seq != query_seq_) return;
+  query_in_flight_ = false;
+  ++stats_.query_timeouts;
+  if (obs::TraceRecorder* tr = node_->network().trace()) {
+    tr->end(node_->network().simulator_for(node_->host()).now(), trace,
+            static_cast<int>(node_->handle().host), "vbundle.shuffle",
+            "vbundle", "timeout", 1.0);
+  }
+  try_shed();
+}
+
+sim::EventId VBundleAgent::arm_lease(host::VmId vm) {
+  return node_->network().simulator_for(node_->host()).schedule_in(
+      cfg_->accept_hold_lease_s, [this, vm]() { lease_expired(vm); });
+}
+
+void VBundleAgent::lease_expired(host::VmId vm) {
+  if (!pending_accepts_.contains(vm)) return;
+  ++stats_.lease_expiries;
+  release_accepted(vm);
 }
 
 bool VBundleAgent::on_anycast(scribe::ScribeNode& self,
@@ -274,12 +301,7 @@ bool VBundleAgent::on_anycast(scribe::ScribeNode& self,
     // reached the shedder; re-accept reusing the hold (no double-charge)
     // and re-arm the lease.
     node_->network().simulator_for(node_->host()).cancel(it->second.lease);
-    it->second.lease = node_->network().simulator_for(node_->host()).schedule_in(
-        cfg_->accept_hold_lease_s, [this, vm = q->vm]() {
-          if (!pending_accepts_.contains(vm)) return;
-          ++stats_.lease_expiries;
-          release_accepted(vm);
-        });
+    it->second.lease = arm_lease(q->vm);
     ++stats_.queries_accepted;
     if (obs::TraceRecorder* tr = node_->network().trace()) {
       tr->instant(node_->network().simulator_for(node_->host()).now(), q->trace,
@@ -295,12 +317,7 @@ bool VBundleAgent::on_anycast(scribe::ScribeNode& self,
   pending.spec = q->spec;
   pending.demand_mbps = q->demand_mbps;
   pending.cpu_demand = q->cpu_demand;
-  pending.lease = node_->network().simulator_for(node_->host()).schedule_in(
-      cfg_->accept_hold_lease_s, [this, vm = q->vm]() {
-        if (!pending_accepts_.contains(vm)) return;
-        ++stats_.lease_expiries;
-        release_accepted(vm);
-      });
+  pending.lease = arm_lease(q->vm);
   pending_accepts_.emplace(q->vm, pending);
   ++stats_.queries_accepted;
   if (obs::TraceRecorder* tr = node_->network().trace()) {
@@ -358,24 +375,30 @@ void VBundleAgent::on_anycast_accepted(scribe::ScribeNode& self,
                 "vbundle", "vm", static_cast<double>(q->vm), "dst_host",
                 static_cast<double>(dst_host));
   }
-  migration_->start(
-      q->vm, dst_host,
-      [this, moved_demand, moved_cpu, dst_host, trace](host::VmId vm, int dst) {
-        (void)dst;
-        pending_out_demand_ -= moved_demand;
-        pending_out_cpu_ -= moved_cpu;
-        if (obs::TraceRecorder* tr = node_->network().trace()) {
-          tr->end(node_->network().simulator_for(node_->host()).now(), trace,
-                  static_cast<int>(node_->handle().host), "vbundle.shuffle",
-                  "vbundle", "migrated", 1.0, "dst_host",
-                  static_cast<double>(dst_host));
-        }
-        VBundleAgent* receiver =
-            directory_->at(static_cast<std::size_t>(dst_host));
-        receiver->on_migration_arrived(vm);
-        // Keep shedding until we are under the line.
-        try_shed();
-      });
+  ShuffleRecord rec;
+  rec.vm = q->vm;
+  rec.dst_host = dst_host;
+  rec.src_host = node_->host();
+  rec.moved_demand = moved_demand;
+  rec.moved_cpu = moved_cpu;
+  rec.trace = trace;
+  migration_->start_shuffle(rec, this);
+}
+
+void VBundleAgent::shuffle_migration_done(const ShuffleRecord& rec) {
+  pending_out_demand_ -= rec.moved_demand;
+  pending_out_cpu_ -= rec.moved_cpu;
+  if (obs::TraceRecorder* tr = node_->network().trace()) {
+    tr->end(node_->network().simulator_for(node_->host()).now(), rec.trace,
+            static_cast<int>(node_->handle().host), "vbundle.shuffle",
+            "vbundle", "migrated", 1.0, "dst_host",
+            static_cast<double>(rec.dst_host));
+  }
+  VBundleAgent* receiver =
+      directory_->at(static_cast<std::size_t>(rec.dst_host));
+  receiver->on_migration_arrived(rec.vm);
+  // Keep shedding until we are under the line.
+  try_shed();
 }
 
 void VBundleAgent::on_anycast_failed(scribe::ScribeNode& self,

@@ -1,0 +1,342 @@
+// Checkpoint/restore under the sharded parallel engine: an image saved at a
+// quiesce barrier (all shard outboxes drained, nothing on the wire) restores
+// into a freshly reconstructed world and resumes bit-identically — at any
+// worker-thread count, with or without a keyed FaultPlan.  The scenario is
+// the determinism suite's routed-migration workload: per-host periodic token
+// routes, reliable acks with retransmit timers, a mid-run node kill (before
+// the checkpoint, so restore must re-kill it), and keyed loss/duplication
+// straddling the barrier.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ckpt/format.h"
+#include "ckpt/payload_codec.h"
+#include "common/rng.h"
+#include "net/topology.h"
+#include "pastry/pastry_network.h"
+#include "sim/fault_plan.h"
+#include "sim/parallel_runner.h"
+
+namespace vb {
+namespace {
+
+constexpr int kShards = 4;
+constexpr double kKillAt = 6.5;
+constexpr double kSaveFrom = 11.0;  // quiesce starts here; periodics run to 16
+constexpr double kPeriodicUntil = 16.0;
+constexpr double kEnd = 20.0;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The determinism test's token, with a stable wire name so unacked reliable
+/// envelopes holding one can ride a checkpoint.
+struct TokenPayload : pastry::Payload {
+  explicit TokenPayload(std::uint64_t t) : token(t) {}
+  std::size_t wire_bytes() const override { return 48; }
+  std::string name() const override { return "test.token"; }
+  std::uint64_t token;
+};
+
+void register_codecs() {
+  pastry::register_ckpt_payload_codecs();
+  ckpt::PayloadCodec::add(
+      "test.token",
+      [](ckpt::Writer& w, const pastry::Payload& p) {
+        w.u64(ckpt::payload_cast<TokenPayload>(p).token);
+      },
+      [](ckpt::Reader& r) -> pastry::PayloadPtr {
+        return std::make_shared<TokenPayload>(r.u64());
+      });
+}
+
+class MigrationApp : public pastry::PastryApp {
+ public:
+  explicit MigrationApp(std::uint64_t seed) : rng(seed) {}
+
+  void deliver(pastry::PastryNode& self, const pastry::RouteMsg& msg) override {
+    auto tok = std::dynamic_pointer_cast<const TokenPayload>(msg.payload);
+    if (!tok) return;
+    registry.push_back(tok->token);
+    ++migrations_in;
+    auto ack = std::make_shared<TokenPayload>(tok->token ^ 0xACC0ACC0ULL);
+    if (tok->token % 4 == 0) {
+      self.send_reliable(msg.source, ack);
+    } else {
+      self.send_direct(msg.source, ack);
+    }
+  }
+
+  void receive_direct(pastry::PastryNode& self, const pastry::NodeHandle& from,
+                      const pastry::PayloadPtr& payload,
+                      pastry::MsgCategory category) override {
+    (void)self;
+    (void)from;
+    (void)category;
+    if (std::dynamic_pointer_cast<const TokenPayload>(payload)) ++acks_in;
+  }
+
+  Rng rng;
+  std::vector<std::uint64_t> registry;
+  std::uint64_t migrations_in = 0;
+  std::uint64_t acks_in = 0;
+};
+
+/// Deterministic reconstruction: topology, runner, transport, fault plan,
+/// nodes, apps, periodic token routes.  Runs nothing.
+struct World {
+  World(std::uint64_t seed, int threads, bool with_faults)
+      : topo(make_tcfg()),
+        shard_map(topo.rack_aligned_shards(kShards)),
+        lookahead(0.5 * topo.min_cross_shard_latency_s(shard_map)),
+        runner(kShards, lookahead, threads),
+        net(&runner.shard(0), &topo),
+        plan(seed) {
+    net.enable_sharding(&runner, shard_map);
+    if (with_faults) {
+      // Loss/duplication straddle the t≈11-12 quiesce barrier, so keyed
+      // per-node fault ordinals and pending retransmits ride the image.
+      plan.uniform_loss(0.05, 2.0, 16.0).uniform_duplication(0.03, 2.0, 16.0);
+      net.set_fault_plan(&plan);
+    }
+    Rng ids(seed);
+    for (int h = 0; h < topo.num_hosts(); ++h) {
+      U128 id = ids.next_u128();
+      node_ids.push_back(id);
+      pastry::PastryNode& n = net.add_node_oracle(id, h);
+      apps.push_back(std::make_unique<MigrationApp>(
+          sim::ParallelRunner::shard_seed(seed ^ 0xA99ULL, h)));
+      n.add_app(apps.back().get());
+    }
+    for (int h = 0; h < topo.num_hosts(); ++h) {
+      MigrationApp* app = apps[static_cast<std::size_t>(h)].get();
+      pastry::PastryNode* node = &net.at(node_ids[static_cast<std::size_t>(h)]);
+      net.simulator_for(h).schedule_periodic(
+          0.05 + 0.001 * h, 0.2,
+          [app, node] {
+            node->route(app->rng.next_u128(),
+                        std::make_shared<TokenPayload>(app->rng.next_u64()));
+            return true;
+          },
+          kPeriodicUntil);
+    }
+  }
+
+  static net::TopologyConfig make_tcfg() {
+    net::TopologyConfig tcfg;
+    tcfg.num_pods = 2;
+    tcfg.racks_per_pod = 4;
+    tcfg.hosts_per_rack = 4;  // 32 hosts, 8 racks
+    return tcfg;
+  }
+
+  /// Runs extra conservative windows until nothing is on the wire.  Every
+  /// run shape executes this same deterministic stepping, so the quiesce is
+  /// part of the run, not a perturbation of it.
+  double quiesce(double from) {
+    double t = from;
+    const double step = std::max(lookahead, 0.05);
+    int guard = 0;
+    while (net.wire_in_flight() > 0) {
+      t = from + (++guard) * step;
+      runner.run_until(t);
+      if (guard > 5000) throw std::logic_error("quiesce: wire never drained");
+    }
+    return t;
+  }
+
+  net::Topology topo;
+  std::vector<int> shard_map;
+  double lookahead;
+  sim::ParallelRunner runner;
+  pastry::PastryNetwork net;
+  sim::FaultPlan plan;
+  std::vector<U128> node_ids;
+  std::vector<std::unique_ptr<MigrationApp>> apps;
+};
+
+std::vector<std::uint8_t> save(const World& w) {
+  ckpt::Writer wr;
+  wr.begin_section("parallel_test");
+  w.runner.ckpt_save(wr);
+  w.net.ckpt_save(wr);
+  wr.begin_section("apps");
+  wr.u32(static_cast<std::uint32_t>(w.apps.size()));
+  for (const auto& app : w.apps) {
+    Rng::State s = app->rng.ckpt_state();
+    wr.u64(s.state);
+    wr.boolean(s.have_spare_normal);
+    wr.f64(s.spare_normal);
+    wr.u64(app->migrations_in);
+    wr.u64(app->acks_in);
+    wr.u64(app->registry.size());
+    for (std::uint64_t t : app->registry) wr.u64(t);
+  }
+  wr.end_section();
+  wr.end_section();
+  return wr.finish();
+}
+
+void restore(World& w, const std::vector<std::uint8_t>& image) {
+  ckpt::Reader r(image);
+  r.enter_section("parallel_test");
+  w.runner.ckpt_restore(r);
+  w.net.ckpt_restore(r);
+  r.enter_section("apps");
+  std::uint32_t n = r.u32();
+  if (n != w.apps.size()) throw ckpt::CkptError("apps: count mismatch");
+  for (auto& app : w.apps) {
+    Rng::State s;
+    s.state = r.u64();
+    s.have_spare_normal = r.boolean();
+    s.spare_normal = r.f64();
+    app->rng.ckpt_restore(s);
+    app->migrations_in = r.u64();
+    app->acks_in = r.u64();
+    app->registry.assign(r.u64(), 0);
+    for (std::uint64_t& t : app->registry) t = r.u64();
+  }
+  r.exit_section();
+  r.exit_section();
+  if (!r.at_end()) throw ckpt::CkptError("apps: trailing bytes");
+}
+
+struct Fingerprint {
+  std::uint64_t events_executed = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t placement_hash = 0;
+  std::uint64_t traffic_hash = 0;
+  std::uint64_t total_msgs = 0;
+  std::uint64_t fault_dropped = 0;
+  std::uint64_t fault_dups = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint(World& w) {
+  Fingerprint fp;
+  fp.events_executed = w.runner.events_executed();
+  fp.placement_hash = 1469598103934665603ULL;
+  fp.traffic_hash = 1469598103934665603ULL;
+  for (int h = 0; h < w.topo.num_hosts(); ++h) {
+    const MigrationApp& app = *w.apps[static_cast<std::size_t>(h)];
+    fp.migrations += app.migrations_in;
+    fp.acks += app.acks_in;
+    fp.placement_hash = fnv1a(fp.placement_hash, app.migrations_in);
+    for (std::uint64_t t : app.registry) {
+      fp.placement_hash = fnv1a(fp.placement_hash, t);
+    }
+    const pastry::TrafficCounters& c =
+        w.net.counters(w.node_ids[static_cast<std::size_t>(h)]);
+    fp.traffic_hash = fnv1a(fp.traffic_hash, c.total_msgs());
+    fp.traffic_hash = fnv1a(fp.traffic_hash, c.total_bytes());
+  }
+  fp.total_msgs = w.net.total_msgs();
+  fp.fault_dropped = w.net.total_fault_dropped();
+  fp.fault_dups = w.net.total_fault_dups();
+  return fp;
+}
+
+/// The uninterrupted shape: same stepping as the saver (including the
+/// quiesce windows), no checkpoint taken.
+Fingerprint run_uninterrupted(std::uint64_t seed, int threads,
+                              bool with_faults) {
+  World w(seed, threads, with_faults);
+  w.runner.run_until(kKillAt);
+  w.net.kill_node(w.node_ids[5]);
+  w.runner.run_until(kSaveFrom);
+  w.quiesce(kSaveFrom);
+  w.runner.run_until(kEnd);
+  return fingerprint(w);
+}
+
+/// Runs to the barrier, saves, keeps going.  Returns the image too so the
+/// caller can restore it elsewhere.
+Fingerprint run_with_save(std::uint64_t seed, int threads, bool with_faults,
+                          std::vector<std::uint8_t>& image_out) {
+  World w(seed, threads, with_faults);
+  w.runner.run_until(kKillAt);
+  w.net.kill_node(w.node_ids[5]);
+  w.runner.run_until(kSaveFrom);
+  w.quiesce(kSaveFrom);
+  image_out = save(w);
+  w.runner.run_until(kEnd);
+  return fingerprint(w);
+}
+
+/// Fresh reconstruction — note: no kill_node call (the transport section
+/// re-kills the dead node) and no run_until before restore.
+Fingerprint run_restored(std::uint64_t seed, int threads, bool with_faults,
+                         const std::vector<std::uint8_t>& image) {
+  World w(seed, threads, with_faults);
+  restore(w, image);
+  w.runner.run_until(kEnd);
+  return fingerprint(w);
+}
+
+void expect_same(const Fingerprint& a, const Fingerprint& b,
+                 const char* label) {
+  EXPECT_EQ(a.events_executed, b.events_executed) << label;
+  EXPECT_EQ(a.migrations, b.migrations) << label;
+  EXPECT_EQ(a.acks, b.acks) << label;
+  EXPECT_EQ(a.placement_hash, b.placement_hash) << label;
+  EXPECT_EQ(a.traffic_hash, b.traffic_hash) << label;
+  EXPECT_EQ(a.total_msgs, b.total_msgs) << label;
+  EXPECT_EQ(a.fault_dropped, b.fault_dropped) << label;
+  EXPECT_EQ(a.fault_dups, b.fault_dups) << label;
+  EXPECT_TRUE(a == b) << label;
+}
+
+void run_matrix(std::uint64_t seed, bool with_faults) {
+  register_codecs();
+  Fingerprint base = run_uninterrupted(seed, 1, with_faults);
+
+  std::vector<std::uint8_t> image;
+  Fingerprint saved = run_with_save(seed, 4, with_faults, image);
+  expect_same(base, saved, "with-save@4 vs uninterrupted@1");
+  EXPECT_FALSE(image.empty());
+
+  // The image was written by a 4-thread run; restore at 4 threads and at 1 —
+  // the thread count is never part of the run's semantics.
+  Fingerprint restored4 = run_restored(seed, 4, with_faults, image);
+  expect_same(base, restored4, "restored@4 vs uninterrupted@1");
+  Fingerprint restored1 = run_restored(seed, 1, with_faults, image);
+  expect_same(base, restored1, "restored@1 vs uninterrupted@1");
+
+  EXPECT_GT(base.migrations, 0u);
+  EXPECT_GT(base.acks, 0u);
+}
+
+TEST(CkptParallel, ResumeBitIdenticalAcrossThreadCounts) {
+  run_matrix(7, false);
+}
+
+TEST(CkptParallel, ResumeBitIdenticalUnderKeyedFaultPlan) {
+  run_matrix(11, true);
+}
+
+TEST(CkptParallel, SaveOffBarrierIsRefused) {
+  register_codecs();
+  World w(7, 1, false);
+  w.runner.run_until(3.0);
+  // Mid-run the wire is typically busy; the transport refuses to serialize.
+  if (w.net.wire_in_flight() > 0) {
+    EXPECT_THROW(save(w), ckpt::CkptError);
+  }
+  // After a proper quiesce, the same call succeeds.
+  w.quiesce(3.0);
+  EXPECT_FALSE(save(w).empty());
+}
+
+}  // namespace
+}  // namespace vb

@@ -106,7 +106,8 @@ std::string violations(VBundleCloud& cloud, int booted) {
 /// bit-identical to the untraced evaluation that failed.
 std::string run_with_plan(std::uint64_t seed, sim::FaultPlan plan,
                           obs::TraceRecorder* trace = nullptr,
-                          obs::MetricsRegistry* metrics = nullptr) {
+                          obs::MetricsRegistry* metrics = nullptr,
+                          std::vector<std::uint8_t>* ckpt_out = nullptr) {
   Rng rng(seed);
   VBundleCloud cloud(fuzz_config(seed));
   cloud.set_trace_recorder(trace);
@@ -133,6 +134,9 @@ std::string run_with_plan(std::uint64_t seed, sim::FaultPlan plan,
   cloud.run_until(3000.0);
   std::string bad = violations(cloud, booted);
   if (metrics != nullptr) cloud.collect_metrics(*metrics);
+  // End-state image for the flight dump: restoring it puts a debugger
+  // straight into the violated cloud, no replay needed.
+  if (ckpt_out != nullptr) *ckpt_out = cloud.save_checkpoint();
   return bad;
 }
 
@@ -252,12 +256,13 @@ TEST(ChaosFuzz, RandomPlansPreserveInvariants) {
     // report, one click away from the CI log.
     obs::TraceRecorder trace;
     obs::MetricsRegistry metrics;
+    std::vector<std::uint8_t> ckpt;
     std::string replay_bad =
-        run_with_plan(seed, minimal.fresh(), &trace, &metrics);
+        run_with_plan(seed, minimal.fresh(), &trace, &metrics, &ckpt);
     obs::FlightDump dump = obs::dump_flight(
         "chaos_flight", "seed" + std::to_string(seed), &trace, &metrics,
         minimal.describe(), minimal.to_json(),
-        replay_bad.empty() ? bad : replay_bad);
+        replay_bad.empty() ? bad : replay_bad, &ckpt);
 
     ADD_FAILURE() << "chaos fuzz violation, seed=" << seed << "\n  full plan:    "
                   << plan.describe() << "\n  violations:   " << bad
@@ -314,21 +319,24 @@ TEST(FlightRecorder, DumpEmbedsReproAndValidates) {
   sim::FaultPlan plan = sim::FaultPlan::canned_partition(7);
   obs::TraceRecorder trace;
   obs::MetricsRegistry metrics;
-  std::string bad = run_with_plan(7, plan.fresh(), &trace, &metrics);
+  std::vector<std::uint8_t> ckpt;
+  std::string bad = run_with_plan(7, plan.fresh(), &trace, &metrics, &ckpt);
   EXPECT_TRUE(bad.empty()) << bad;
   ASSERT_GT(trace.size(), 0u);
   ASSERT_GT(metrics.series_count(), 0u);
+  ASSERT_FALSE(ckpt.empty());
 
   obs::FlightDump dump =
       obs::dump_flight("chaos_flight", "synthetic", &trace, &metrics,
-                       plan.describe(), plan.to_json(), "synthetic check");
+                       plan.describe(), plan.to_json(), "synthetic check",
+                       &ckpt);
   ASSERT_TRUE(dump.ok) << dump.error;
   EXPECT_NE(dump.message().find(dump.manifest_path), std::string::npos);
 
   // Every artifact exists and the JSON ones parse / validate.
   for (const std::string& path :
        {dump.manifest_path, dump.trace_chrome_path, dump.trace_jsonl_path,
-        dump.metrics_csv_path, dump.metrics_json_path}) {
+        dump.metrics_csv_path, dump.metrics_json_path, dump.checkpoint_path}) {
     std::ifstream probe(path);
     EXPECT_TRUE(probe.good()) << "missing dump artifact: " << path;
   }
@@ -363,6 +371,14 @@ TEST(FlightRecorder, DumpEmbedsReproAndValidates) {
   ASSERT_NE(tinfo, nullptr);
   EXPECT_DOUBLE_EQ(tinfo->find("events")->number,
                    static_cast<double>(trace.size()));
+
+  // The checkpoint rides next to the repro and is byte-complete on disk.
+  const obs::JsonValue* cinfo = manifest->find("checkpoint");
+  ASSERT_NE(cinfo, nullptr);
+  ASSERT_TRUE(cinfo->is_object());
+  EXPECT_DOUBLE_EQ(cinfo->find("bytes")->number,
+                   static_cast<double>(ckpt.size()));
+  EXPECT_EQ(slurp(dump.checkpoint_path).size(), ckpt.size());
 }
 
 TEST(ChaosShrinker, AlreadyMinimalPlanIsUnchanged) {

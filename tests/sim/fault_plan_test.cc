@@ -4,6 +4,7 @@
 // recorder embeds, and decide() must tag partition drops as such.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 #include "obs/json.h"
@@ -74,6 +75,103 @@ TEST(FaultPlan, ParseRejectsMalformedScripts) {
   EXPECT_FALSE(FaultPlan::parse_describe("seed=x win[0,1)").has_value());
   EXPECT_FALSE(FaultPlan::parse_describe("seed=1 win[0,1").has_value());
   EXPECT_FALSE(FaultPlan::parse_describe("seed=1 part(tor 0)[0,1)").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: the describe() grammar must round-trip ANY plan the
+// builders can produce, and parse_describe() must never misbehave on
+// damaged repro strings (a truncated CI log or a hand-mangled paste is the
+// expected input, not the exception).
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double rand_unit(std::uint64_t& s) {
+  return static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+}
+
+FaultPlan random_plan(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  FaultPlan plan(splitmix64(s));
+  int clauses = 1 + static_cast<int>(splitmix64(s) % 6);
+  for (int i = 0; i < clauses; ++i) {
+    // Awkward-by-construction doubles: products of two uniforms rarely have
+    // a short decimal form, so round-tripping needs full precision.
+    double a = rand_unit(s) * 1000.0;
+    double b = a + rand_unit(s) * 1000.0;
+    double p = rand_unit(s);
+    switch (splitmix64(s) % 7) {
+      case 0: plan.uniform_loss(p, a, b); break;
+      case 1: plan.uniform_duplication(p, a, b); break;
+      case 2: plan.jitter(p, a);  break;  // open-ended window
+      case 3: plan.delay_spike(p * 5.0, a, b); break;
+      case 4:
+        plan.link_loss(static_cast<int>(splitmix64(s) % 64),
+                       static_cast<int>(splitmix64(s) % 64), p, a, b);
+        break;
+      case 5: plan.partition_rack(static_cast<int>(splitmix64(s) % 16), a, b);
+        break;
+      default: plan.partition_pod(static_cast<int>(splitmix64(s) % 4), a, b);
+        break;
+    }
+  }
+  return plan;
+}
+
+TEST(FaultPlan, RandomPlansRoundTripExactly) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    FaultPlan plan = random_plan(seed);
+    std::string script = plan.describe();
+    auto parsed = FaultPlan::parse_describe(script);
+    ASSERT_TRUE(parsed.has_value()) << "seed " << seed << ": " << script;
+    EXPECT_EQ(parsed->describe(), script) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlan, TruncatedScriptsNeverMisparse) {
+  // Chopping a valid repro string at every byte offset must either be
+  // rejected or parse to a plan that itself round-trips — never crash,
+  // never yield a plan whose describe() disagrees with a reparse.
+  FaultPlan plan = random_plan(99);
+  std::string script = plan.describe();
+  int accepted = 0;
+  for (std::size_t cut = 0; cut < script.size(); ++cut) {
+    std::string prefix = script.substr(0, cut);
+    auto parsed = FaultPlan::parse_describe(prefix);
+    if (parsed.has_value()) {
+      ++accepted;
+      auto reparsed = FaultPlan::parse_describe(parsed->describe());
+      ASSERT_TRUE(reparsed.has_value()) << "cut at " << cut;
+      EXPECT_EQ(reparsed->describe(), parsed->describe()) << "cut at " << cut;
+    }
+  }
+  // A prefix that ends exactly between clauses is legitimately a valid
+  // smaller plan, but most cuts land mid-token and must be rejected.
+  EXPECT_LT(accepted, static_cast<int>(script.size()) / 2) << script;
+}
+
+TEST(FaultPlan, GarbageScriptsAreRejectedNotCrashed) {
+  std::uint64_t s = 0xDEADBEEF;
+  const char alphabet[] = "seed=winpart.0123456789[](), \t-+eE\"xyz";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string noise;
+    std::size_t len = splitmix64(s) % 80;
+    for (std::size_t i = 0; i < len; ++i) {
+      noise += alphabet[splitmix64(s) % (sizeof(alphabet) - 1)];
+    }
+    auto parsed = FaultPlan::parse_describe(noise);
+    if (parsed.has_value()) {
+      // Anything accepted must still satisfy the round-trip contract.
+      EXPECT_EQ(FaultPlan::parse_describe(parsed->describe())->describe(),
+                parsed->describe())
+          << noise;
+    }
+  }
 }
 
 TEST(FaultPlan, ToJsonIsStructuredAndParses) {

@@ -28,6 +28,7 @@ import sys
 EXACT = {
     "servers", "threads", "shards", "events", "routes", "rounds", "vms",
     "sim_events", "migrations", "tree_height", "cross_shard_posts",
+    "bytes",
 }
 
 # Timing-derived metrics: positive and finite, nothing more, unless a band
@@ -37,6 +38,7 @@ POSITIVE = {
     "setup_seconds", "build_seconds", "events_per_sec",
     "legacy_events_per_sec", "routes_per_sec", "rounds_per_sec",
     "parallel_speedup", "speedup_vs_legacy",
+    "save_seconds", "restore_seconds",
 }
 
 # Optional per-metric tolerance bands, keyed by (row name, metric):
@@ -59,9 +61,12 @@ def fail(msg):
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
-            return json.load(f)
+            doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot load {path}: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is {type(doc).__name__}, expected an object")
+    return doc
 
 
 def is_number(v):
@@ -70,6 +75,8 @@ def is_number(v):
 
 def check_row(key, fresh_row, ref_row):
     name = key[0]
+    if not isinstance(fresh_row, dict):
+        fail(f"{key}: fresh row is {type(fresh_row).__name__}, expected an object")
     missing = set(ref_row) - set(fresh_row)
     if missing:
         fail(f"{key}: missing keys {sorted(missing)}")
@@ -107,13 +114,23 @@ def main(argv):
              f"reference {ref.get('schema_version')}")
     if fresh.get("smoke") != ref.get("smoke"):
         fail(f"smoke={fresh.get('smoke')} != reference {ref.get('smoke')}")
+    config = fresh.get("config")
+    if not isinstance(config, dict):
+        fail(f"config is {type(config).__name__}, expected an object")
     for k in ("threads", "shards", "compiler", "build_type"):
-        if k not in fresh.get("config", {}):
+        if k not in config:
             fail(f"config.{k} missing (schema v2 requires it)")
 
     def rows(doc, which):
         out = {}
-        for row in doc.get("results", []):
+        results = doc.get("results")
+        if not isinstance(results, list):
+            fail(f"{which}: results is {type(results).__name__}, "
+                 "expected an array")
+        for row in results:
+            if not isinstance(row, dict):
+                fail(f"{which}: result row is {type(row).__name__}, "
+                     "expected an object")
             key = (row.get("name"), row.get("servers"))
             if key in out:
                 fail(f"{which}: duplicate row {key}")
@@ -129,10 +146,20 @@ def main(argv):
     for key, ref_row in sorted(ref_rows.items(), key=str):
         check_row(key, fresh_rows[key], ref_row)
 
-    print(f"check_bench: OK ({len(fresh_rows)} rows, "
-          f"schema v{fresh['schema_version']})")
+    version = fresh.get("schema_version")
+    if version is None:
+        fail("schema_version missing from both files")
+    print(f"check_bench: OK ({len(fresh_rows)} rows, schema v{version})")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    # Last-resort guard: any bug or unanticipated malformation above still
+    # exits with a one-line diagnostic, never a traceback — CI logs grep for
+    # "check_bench:" and a stack trace would bury the actual failure.
+    try:
+        sys.exit(main(sys.argv))
+    except SystemExit:
+        raise
+    except Exception as e:  # noqa: BLE001 — the whole point is the catch-all
+        fail(f"internal error: {type(e).__name__}: {e}")

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Builds the tree under ThreadSanitizer (the tsan CMake preset) and runs the
-# tests that actually spin up worker threads — the parallel-engine unit tests
-# and the serial-vs-parallel determinism suite — plus a multi-threaded smoke
-# drive of the perf harness with per-shard trace/metrics buffers attached.
+# tests that actually spin up worker threads — the parallel-engine unit tests,
+# the serial-vs-parallel determinism suite, and the parallel checkpoint
+# round-trip (save at N threads, restore at 1 and N) — plus a multi-threaded
+# smoke drive of the perf harness with per-shard trace/metrics buffers
+# attached.
 # Any data-race report fails the run.  TSan-clean is a merge gate for changes
 # touching sim/parallel_runner, the sharded transport, or the per-shard obs
 # buffers (see docs/ARCHITECTURE.md, "Deterministic parallel execution").
@@ -19,11 +21,13 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" \
-  --target test_parallel_runner test_determinism test_chaos_fuzz perf_core
+  --target test_parallel_runner test_determinism test_ckpt_parallel \
+  test_chaos_fuzz perf_core
 
 # The threaded tests: engine unit tests + serial-vs-parallel determinism
-# (1/2/4/8 worker threads, with and without a FaultPlan, traced variant).
-ctest --test-dir build-tsan -R '^(parallel_runner|determinism)$' \
+# (1/2/4/8 worker threads, with and without a FaultPlan, traced variant) +
+# the parallel checkpoint resume suite (src/ckpt under real worker threads).
+ctest --test-dir build-tsan -R '^(parallel_runner|determinism|ckpt_parallel)$' \
   --output-on-failure "$@"
 
 # A short traced chaos run through the real transport under TSan: the smoke

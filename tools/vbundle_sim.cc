@@ -19,12 +19,32 @@
 //   --metrics PATH                    final metrics snapshot; CSV
 //                                     (or JSON if PATH ends in .json)
 //
+// Checkpointing (rebalance subcommand; see docs/ARCHITECTURE.md):
+//   --checkpoint-every S              save a checkpoint every S simulated
+//                                     seconds (taken at quiesce barriers)
+//   --checkpoint-file PATH            where to write it (default
+//                                     vbundle_sim.ckpt, overwritten)
+//   --restore-from PATH               resume from an image instead of
+//                                     starting at t=0.  All scenario flags
+//                                     (seed, shape, intervals) and the
+//                                     presence of --trace must match the
+//                                     saving run; the resumed run is
+//                                     bit-identical to one that never
+//                                     stopped.  Re-running the same tail
+//                                     with --trace added on the *saving*
+//                                     run is the time-travel workflow
+//                                     (EXPERIMENTS.md).
+//
 // Examples:
 //   vbundle_sim placement --customers 5 --vms 200 --racks 8
 //   vbundle_sim rebalance --threshold 0.1 --duration 4800 --csv sd.csv
+//   vbundle_sim rebalance --duration 4800 --checkpoint-every 1200
+//   vbundle_sim rebalance --duration 4800 --restore-from vbundle_sim.ckpt
 //   vbundle_sim sipp --duration 500
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/flags.h"
@@ -91,6 +111,34 @@ struct ObsSink {
   core::VBundleCloud* cloud_;
 };
 
+void write_image(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open checkpoint file for writing: " + path);
+  }
+  std::size_t n = std::fwrite(b.data(), 1, b.size(), f);
+  if (std::fclose(f) != 0 || n != b.size()) {
+    throw std::runtime_error("short write to checkpoint file: " + path);
+  }
+}
+
+std::vector<std::uint8_t> read_image(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open checkpoint file: " + path);
+  }
+  std::vector<std::uint8_t> b;
+  std::uint8_t buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    b.insert(b.end(), buf, buf + n);
+  }
+  bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) throw std::runtime_error("read error on checkpoint file: " + path);
+  return b;
+}
+
 int run_placement(const Flags& flags) {
   core::CloudConfig cfg = config_from(flags);
   cfg.vbundle.max_placement_visits = flags.get_int("max-visits", 1024);
@@ -139,19 +187,31 @@ int run_rebalance(const Flags& flags) {
   ObsSink obs_sink(flags, cloud);
   int vms_per_host = flags.get_int("vms-per-host", 10);
   double duration = flags.get_double("duration", 4800.0);
+  double ckpt_every = flags.get_double("checkpoint-every", 0.0);
+  std::string ckpt_file = flags.get_string("checkpoint-file", "vbundle_sim.ckpt");
+  std::string restore_from = flags.get_string("restore-from", "");
 
+  // Deterministic setup.  When restoring, the VM placement and skew are
+  // skipped — the image's fleet section carries them (and any VMs the saved
+  // run migrated since).
   auto c = cloud.add_customer("cli");
-  for (int h = 0; h < cloud.num_hosts(); ++h) {
-    for (int i = 0; i < vms_per_host; ++i) {
-      host::VmId v = cloud.fleet().create_vm(c, host::VmSpec{20, 150});
-      cloud.fleet().place(v, h);
+  if (restore_from.empty()) {
+    for (int h = 0; h < cloud.num_hosts(); ++h) {
+      for (int i = 0; i < vms_per_host; ++i) {
+        host::VmId v = cloud.fleet().create_vm(c, host::VmSpec{20, 150});
+        cloud.fleet().place(v, h);
+      }
     }
+    Rng rng(cfg.seed + 1);
+    load::skew_host_utilizations(cloud.fleet(), flags.get_double("lo-util", 0.25),
+                                 flags.get_double("hi-util", 1.0), rng);
   }
-  Rng rng(cfg.seed + 1);
-  load::skew_host_utilizations(cloud.fleet(), flags.get_double("lo-util", 0.25),
-                               flags.get_double("hi-util", 1.0), rng);
 
   cloud.start_rebalancing(0.0, cfg.vbundle.rebalance_interval_s);
+  if (!restore_from.empty()) {
+    cloud.restore_checkpoint(read_image(restore_from));
+    std::printf("restored %s at t=%.3f\n", restore_from.c_str(), cloud.now());
+  }
   std::unique_ptr<CsvWriter> csv;
   if (flags.has("csv")) {
     csv = std::make_unique<CsvWriter>(flags.get_string("csv", ""));
@@ -160,8 +220,10 @@ int run_rebalance(const Flags& flags) {
   TextTable t;
   t.set_header({"t (s)", "util SD", "max util", "migrations"});
   int steps = 16;
+  double next_ckpt = ckpt_every > 0 ? ckpt_every : duration + 1.0;
   for (int i = 0; i <= steps; ++i) {
     double at = duration * i / steps;
+    if (at < cloud.now()) continue;  // already past (resumed mid-series)
     cloud.run_until(at);
     double sd = cloud.utilization_stddev();
     double mx = 0;
@@ -171,6 +233,14 @@ int run_rebalance(const Flags& flags) {
                TextTable::num(mx, 3), TextTable::num(static_cast<std::size_t>(migr))});
     if (csv) {
       csv->row_numeric({at, sd, mx, static_cast<double>(migr)});
+    }
+    // Checkpoint after sampling: the row grid stays identical between a
+    // checkpointing run and a plain one (save quiesces, which steps the
+    // clock slightly past `at`).
+    if (ckpt_every > 0 && at >= next_ckpt) {
+      write_image(ckpt_file, cloud.save_checkpoint());
+      std::printf("checkpoint %s at t=%.3f\n", ckpt_file.c_str(), cloud.now());
+      while (next_ckpt <= at) next_ckpt += ckpt_every;
     }
   }
   std::printf("%s", t.to_string().c_str());
