@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "pastry/pastry_network.h"
 #include "scribe/scribe_network.h"
 
 using namespace vb;
@@ -52,9 +53,11 @@ int main() {
   sim::Simulator sim;
   pastry::PastryNetwork net(&sim, &topo);
   core::TopologyAwareIdAssigner ids(topo, 42);
+  std::vector<pastry::BulkFleetEntry> fleet;
   for (int h = 0; h < topo.num_hosts(); ++h) {
-    net.add_node_oracle(ids.id_for_host(h), h);
+    fleet.push_back({ids.id_for_host(h), h});
   }
+  net.bootstrap_bulk(std::move(fleet));
   scribe::ScribeNetwork scribe(&net);
   AcceptAll app;
   scribe::GroupId group = scribe_group_id("less-loaded", "vbundle");

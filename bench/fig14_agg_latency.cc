@@ -11,6 +11,7 @@
 
 #include "aggregation/aggregation_tree.h"
 #include "bench_util.h"
+#include "pastry/pastry_network.h"
 #include "scribe/scribe_network.h"
 
 using namespace vb;
@@ -44,9 +45,11 @@ Result measure(int n_servers, std::uint64_t seed) {
   sim::Simulator sim;
   pastry::PastryNetwork net(&sim, &topo);
   Rng rng(seed);
+  std::vector<pastry::BulkFleetEntry> fleet;
   for (int h = 0; h < topo.num_hosts(); ++h) {
-    net.add_node_oracle(rng.next_u128(), h);
+    fleet.push_back({rng.next_u128(), h});
   }
+  net.bootstrap_bulk(std::move(fleet));
   scribe::ScribeNetwork scribe(&net);
   std::vector<std::unique_ptr<agg::AggregationAgent>> agents;
   for (scribe::ScribeNode* s : scribe.nodes()) {

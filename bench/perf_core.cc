@@ -69,6 +69,7 @@
 #include "aggregation/aggregation_tree.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pastry/bulk_bootstrap.h"
 #include "pastry/pastry_network.h"
 #include "scribe/scribe_network.h"
 #include "sim/event_queue.h"
@@ -391,11 +392,8 @@ RouteResult bench_route_throughput(int servers, std::uint64_t routes,
 
   RouteResult r;
   r.routes = routes;
-  r.bootstrap_seconds = wall_seconds([&] {
-    for (int h = 0; h < servers; ++h) {
-      net.add_node_oracle(ids[static_cast<std::size_t>(h)], h);
-    }
-  });
+  r.bootstrap_seconds = wall_seconds(
+      [&] { net.bootstrap_bulk(pastry::fleet_one_per_host(ids)); });
 
   auto payload = std::make_shared<NullPayload>();
   std::uint64_t events_before = sim.events_executed();
@@ -433,9 +431,7 @@ AggResult bench_aggregation_round(int servers, int rounds) {
   std::unique_ptr<scribe::ScribeNetwork> scribes;
   std::vector<std::unique_ptr<agg::AggregationAgent>> agents;
   r.setup_seconds = wall_seconds([&] {
-    for (int h = 0; h < servers; ++h) {
-      net.add_node_oracle(ids[static_cast<std::size_t>(h)], h);
-    }
+    net.bootstrap_bulk(pastry::fleet_one_per_host(ids));
     scribes = std::make_unique<scribe::ScribeNetwork>(&net);
     agents.reserve(static_cast<std::size_t>(servers));
     for (pastry::PastryNode* n : net.nodes()) {

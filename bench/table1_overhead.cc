@@ -14,6 +14,7 @@
 #include "aggregation/aggregation_tree.h"
 #include "common/hash.h"
 #include "common/rng.h"
+#include "pastry/pastry_network.h"
 #include "scribe/scribe_network.h"
 
 namespace {
@@ -37,9 +38,11 @@ struct Overlay {
         }()),
         net(&sim, &topo) {
     Rng rng(42);
+    std::vector<pastry::BulkFleetEntry> fleet;
     for (int h = 0; h < topo.num_hosts(); ++h) {
-      net.add_node_oracle(rng.next_u128(), h);
+      fleet.push_back({rng.next_u128(), h});
     }
+    net.bootstrap_bulk(std::move(fleet));
     scribe = std::make_unique<scribe::ScribeNetwork>(&net);
     for (scribe::ScribeNode* s : scribe->nodes()) {
       agents.push_back(std::make_unique<agg::AggregationAgent>(

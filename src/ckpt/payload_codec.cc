@@ -169,6 +169,26 @@ void register_ckpt_payload_codecs() {
         return m;
       });
   PayloadCodec::add(
+      "pastry.scan",
+      [](Writer& w, const Payload& p) {
+        ckpt::put_handle(w, ckpt::payload_cast<RingScan>(p).origin);
+      },
+      [](Reader& r) -> PayloadPtr {
+        auto m = std::make_shared<RingScan>();
+        m->origin = ckpt::get_handle(r);
+        return m;
+      });
+  PayloadCodec::add(
+      "pastry.scan_rep",
+      [](Writer& w, const Payload& p) {
+        put_handles(w, ckpt::payload_cast<RingScanReply>(p).nodes);
+      },
+      [](Reader& r) -> PayloadPtr {
+        auto m = std::make_shared<RingScanReply>();
+        m->nodes = get_handles(r);
+        return m;
+      });
+  PayloadCodec::add(
       "pastry.rel",
       [](Writer& w, const Payload& p) {
         const auto& m = ckpt::payload_cast<ReliableEnvelope>(p);

@@ -1,0 +1,44 @@
+// Bulk-join bootstrap: boot an entire CA-assigned fleet in one shot.
+//
+// The oracle bootstrap (PastryNetwork::add_node_oracle) performs a mutual
+// learn() against every existing node, which is O(N) per arrival and O(N^2)
+// for a fleet — a 55-second wall at 16k servers that hard-caps every bench
+// below datacenter scale.  bootstrap_bulk() constructs the same converged
+// state directly in O(N log N):
+//
+//   * leaf sets: sort the ids once; each node's leaves are its `half`
+//     successors and predecessors in sorted ring order;
+//   * routing tables: a digit-trie recursion over the sorted ids — at depth
+//     d a shared-prefix run splits into 16 contiguous child runs by digit d,
+//     and the cell (d, c) winner for a node in child c' is the minimum
+//     (proximity, id) candidate in child c, answered in O(1) from per-child
+//     host/rack/pod -> min-id summaries;
+//   * neighbor sets: every same-rack node, plus occupied hosts walked
+//     outward from the owner's host until the remote quota is saturated.
+//
+// Equality with the oracle (and, via the ring-scan join sweep, with
+// sequential protocol joins) holds because every component converges to the
+// unique minimum under a total order — proximity then id for table cells,
+// ring distance for leaves, (rank, id) for neighbors — so any feed that
+// covers the winners produces bit-identical state.  Locked by
+// tests/pastry/bulk_bootstrap_property_test.cc; invariants spelled out in
+// docs/ARCHITECTURE.md ("Bulk-join bootstrap").
+#pragma once
+
+#include <vector>
+
+#include "pastry/pastry_network.h"
+
+namespace vb::pastry {
+
+/// Free-function spelling of PastryNetwork::bootstrap_bulk for benches and
+/// tests that read better without the member call.
+inline void bulk_bootstrap(PastryNetwork& net,
+                           std::vector<BulkFleetEntry> fleet) {
+  net.bootstrap_bulk(std::move(fleet));
+}
+
+/// The common bench fleet shape: one server per host, ids[h] on host h.
+std::vector<BulkFleetEntry> fleet_one_per_host(const std::vector<U128>& ids);
+
+}  // namespace vb::pastry

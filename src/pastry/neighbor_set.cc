@@ -33,9 +33,15 @@ bool NeighborSet::insert_ranked(std::vector<NodeHandle>& side, std::size_t cap,
     return remote_side ? std::labs(static_cast<long>(n.host) - owner_host_)
                        : rank(n, topo);
   };
+  // Sides are sorted by (key, id) lexicographically.  Using the id as a
+  // tie-break (rather than first-learned-wins) makes a full side the unique
+  // set of cap smallest candidates under a total order, so the converged
+  // contents do not depend on the order candidates were offered — required
+  // for the bulk-join synthesizer's order-independence guarantee.
   long r = key(candidate);
   auto pos = std::find_if(side.begin(), side.end(), [&](const NodeHandle& m) {
-    return r < key(m);
+    long mk = key(m);
+    return r < mk || (r == mk && candidate.id < m.id);
   });
   if (pos == side.end() && side.size() >= cap) return false;
   side.insert(pos, candidate);

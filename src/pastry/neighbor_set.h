@@ -28,7 +28,9 @@ class NeighborSet {
   /// nodes outside the owner's rack (clamped to capacity/2, min 1).
   NeighborSet(net::HostId owner_host, int capacity = 16, int remote_quota = 4);
 
-  /// Considers a candidate; kept if among the nearest of its slot class.
+  /// Considers a candidate; kept if among the nearest of its slot class
+  /// under the (rank, id) total order — equal-rank ties go to the smaller
+  /// id, so a converged side is independent of consideration order.
   /// Returns true if the set changed.
   bool consider(const NodeHandle& candidate, const net::Topology& topo);
 
@@ -49,6 +51,10 @@ class NeighborSet {
 
   bool contains(const NodeHandle& n) const;
   std::size_t size() const { return local_.size() + remote_.size(); }
+  /// Slot quotas (the bulk-join synthesizer sizes its candidate sweeps off
+  /// these; see bulk_bootstrap.cc).
+  std::size_t local_capacity() const { return local_cap_; }
+  std::size_t remote_capacity() const { return remote_cap_; }
 
   // --- checkpoint/restore (src/ckpt) -------------------------------------
   void ckpt_save(ckpt::Writer& w) const {

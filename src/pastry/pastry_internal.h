@@ -67,6 +67,27 @@ struct RowReply : Payload {
   std::string name() const override { return "pastry.row_rep"; }
 };
 
+/// Direct (reliable): one step of a newcomer's ring-presence sweep.  After
+/// the join's leaf-set transfer the newcomer walks the whole ring clockwise
+/// (each visited node's reply names its leaf-set members, which always
+/// include the next unvisited successors), so *every* live node considers
+/// the newcomer and the newcomer considers every live node — the mutual
+/// full-coverage property that makes protocol joins converge to the same
+/// canonical state the bulk-join synthesizer constructs directly.
+struct RingScan : Payload {
+  NodeHandle origin;
+  std::size_t wire_bytes() const override { return 32; }
+  std::string name() const override { return "pastry.scan"; }
+};
+
+/// Direct (reliable): reply to a RingScan — the recipient's leaf-set
+/// members plus itself, feeding the origin's sweep frontier.
+struct RingScanReply : Payload {
+  std::vector<NodeHandle> nodes;
+  std::size_t wire_bytes() const override { return 16 + 24 * nodes.size(); }
+  std::string name() const override { return "pastry.scan_rep"; }
+};
+
 /// Direct: wrapper giving a payload at-least-once delivery with
 /// receive-side dedup.  The receiver acks every copy (acks can be lost
 /// too), processes the inner payload only for an unseen (sender, seq), and

@@ -27,6 +27,13 @@ class MetricsRegistry;
 
 namespace vb::pastry {
 
+/// One fleet slot for bootstrap_bulk: a CA-assigned node id and the host it
+/// runs on.  Ids must be unique; hosts must exist in the topology.
+struct BulkFleetEntry {
+  U128 id;
+  net::HostId host = -1;
+};
+
 /// Per-node traffic counters, split by message category.
 struct TrafficCounters {
   static constexpr int kCategories = 7;
@@ -54,6 +61,17 @@ class PastryNetwork {
   /// view ("oracle" bootstrap — used by large benches where the paper also
   /// starts from an already-formed FreePastry ring).
   PastryNode& add_node_oracle(const U128& id, net::HostId host);
+
+  /// Creates the entire fleet at once and synthesizes the canonical
+  /// converged overlay state directly — sorted-id leaf sets, digit-trie
+  /// routing tables, proximity neighbor sets — in O(N log N) without
+  /// sending a single message.  Bit-identical to bootstrapping the same
+  /// fleet one node at a time with add_node_oracle, and entry-for-entry
+  /// equal to what sequential protocol joins converge to (locked by
+  /// tests/pastry/bulk_bootstrap_property_test.cc).  The network must be
+  /// empty.  Defined in bulk_bootstrap.cc; see docs/ARCHITECTURE.md,
+  /// "Bulk-join bootstrap".
+  void bootstrap_bulk(std::vector<BulkFleetEntry> fleet);
 
   /// Creates a node empty and runs the real message-based join protocol
   /// through `bootstrap`.  Caller runs the simulator to completion (or for

@@ -161,6 +161,13 @@ void PastryNode::purge(const NodeHandle& node) {
 
 void PastryNode::begin_join(const NodeHandle& bootstrap) {
   learn(bootstrap);
+  join_bootstrap_ = bootstrap;
+  join_attempts_ = 0;
+  send_join_request();
+}
+
+void PastryNode::send_join_request() {
+  join_attempts_ += 1;
   auto req = std::make_shared<internal::JoinRequest>();
   req->newcomer = handle_;
   RouteMsg msg;
@@ -169,7 +176,76 @@ void PastryNode::begin_join(const NodeHandle& bootstrap) {
   msg.source = handle_;
   msg.category = MsgCategory::kOverlayMaintenance;
   msg.hops = 1;
-  network_->send_route(handle_, bootstrap, std::move(msg));
+  // The join is routed fire-and-forget, so a lossy network can eat it (or
+  // the leaf-set transfer coming back).  Re-issue until that transfer
+  // arrives; the whole join protocol is idempotent on duplicates.
+  join_timer_ = network_->simulator_for(handle_.host)
+                    .schedule_in(kJoinRetryS, [this]() { retry_join(); });
+  network_->send_route(handle_, join_bootstrap_, std::move(msg));
+}
+
+void PastryNode::retry_join() {
+  join_timer_ = sim::kInvalidEventId;
+  if (!join_bootstrap_.valid()) return;  // join already completed
+  if (join_attempts_ >= kJoinMaxAttempts) {
+    join_bootstrap_ = NodeHandle{};  // give up; periodic repair owns recovery
+    return;
+  }
+  send_join_request();
+}
+
+void PastryNode::start_ring_scan() {
+  if (scan_started_) return;
+  scan_started_ = true;
+  scan_active_ = true;
+  scan_cursor_ = U128{};
+  // Seed the frontier with everything the join harvested; each visited
+  // node's reply extends it with that node's leaf-set members, which always
+  // include the next unvisited successors — the sweep never skips a live
+  // node.
+  table_.for_each_entry([this](const NodeHandle& n) { scan_note(n); });
+  leafs_.for_each([this](const NodeHandle& n) { scan_note(n); });
+  neighbors_.for_each([this](const NodeHandle& n) { scan_note(n); });
+  scan_advance();
+}
+
+void PastryNode::scan_note(const NodeHandle& n) {
+  if (!scan_active_ || !n.valid() || n.id == handle_.id) return;
+  U128 d = n.id - handle_.id;  // clockwise ring distance
+  if (!(scan_cursor_ < d)) return;  // behind the sweep: visited or in flight
+  scan_candidates_.emplace(d, n);
+}
+
+void PastryNode::scan_advance() {
+  while (!scan_candidates_.empty() &&
+         !(scan_cursor_ < scan_candidates_.begin()->first)) {
+    scan_candidates_.erase(scan_candidates_.begin());
+  }
+  if (scan_candidates_.empty()) {
+    scan_active_ = false;
+    scan_target_ = NodeHandle{};
+    return;
+  }
+  auto it = scan_candidates_.begin();
+  scan_cursor_ = it->first;
+  scan_target_ = it->second;
+  scan_candidates_.erase(it);
+  auto ping = std::make_shared<internal::RingScan>();
+  ping->origin = handle_;
+  scan_timer_ = network_->simulator_for(handle_.host)
+                    .schedule_in(kScanStepTimeoutS,
+                                 [this]() { scan_step_timeout(); });
+  send_reliable(scan_target_, std::move(ping),
+                MsgCategory::kOverlayMaintenance);
+}
+
+void PastryNode::scan_step_timeout() {
+  scan_timer_ = sim::kInvalidEventId;
+  if (!scan_active_) return;
+  // The target outlived the reliable channel's patience (dead or partitioned
+  // away); skip it and keep sweeping.
+  scan_target_ = NodeHandle{};
+  scan_advance();
 }
 
 void PastryNode::stabilize() {
@@ -314,6 +390,12 @@ void PastryNode::handle_direct_msg(const NodeHandle& from,
     for (const NodeHandle& n : st->nodes) learn(n);
     learn(from);
     if (st->from_delivery_node) {
+      // The join's leaf-set transfer: stop re-issuing the JoinRequest.
+      join_bootstrap_ = NodeHandle{};
+      if (join_timer_ != sim::kInvalidEventId) {
+        network_->simulator_for(handle_.host).cancel(join_timer_);
+        join_timer_ = sim::kInvalidEventId;
+      }
       // Leaf set received: announce ourselves to everyone we now know.
       auto ann = std::make_shared<internal::Announce>();
       ann->who = handle_;
@@ -326,6 +408,34 @@ void PastryNode::handle_direct_msg(const NodeHandle& from,
         seen.push_back(n.id);
         send_direct(n, ann, MsgCategory::kOverlayMaintenance);
       }
+      start_ring_scan();
+    }
+    return;
+  }
+  if (auto sc = std::dynamic_pointer_cast<const internal::RingScan>(payload)) {
+    learn(sc->origin);
+    auto rep = std::make_shared<internal::RingScanReply>();
+    rep->nodes = leafs_.members();
+    rep->nodes.push_back(handle_);
+    send_reliable(sc->origin, std::move(rep),
+                  MsgCategory::kOverlayMaintenance);
+    return;
+  }
+  if (auto sr =
+          std::dynamic_pointer_cast<const internal::RingScanReply>(payload)) {
+    for (const NodeHandle& n : sr->nodes) {
+      learn(n);
+      scan_note(n);
+    }
+    learn(from);
+    if (scan_active_ && scan_target_.valid() &&
+        from.id == scan_target_.id) {
+      if (scan_timer_ != sim::kInvalidEventId) {
+        network_->simulator_for(handle_.host).cancel(scan_timer_);
+        scan_timer_ = sim::kInvalidEventId;
+      }
+      scan_target_ = NodeHandle{};
+      scan_advance();
     }
     return;
   }
@@ -377,6 +487,16 @@ void PastryNode::handle_send_failure(const NodeHandle& dead,
                                      RouteMsg* undelivered) {
   fail_pending_reliable_to(dead);
   purge(dead);
+  if (scan_active_ && scan_target_.valid() && dead.id == scan_target_.id) {
+    // The sweep's current target bounced; skip it without waiting for the
+    // step timeout.
+    if (scan_timer_ != sim::kInvalidEventId) {
+      network_->simulator_for(handle_.host).cancel(scan_timer_);
+      scan_timer_ = sim::kInvalidEventId;
+    }
+    scan_target_ = NodeHandle{};
+    scan_advance();
+  }
   if (undelivered != nullptr) {
     // Reroute around the failure with our repaired tables.
     handle_route_msg(std::move(*undelivered));
@@ -409,6 +529,31 @@ void PastryNode::ckpt_save(ckpt::Writer& w) const {
     // cancelled only together with erasure (ack / give-up / peer death).
     w.f64(sim.event_time(p.timer));
     w.u64(sim.event_seq(p.timer));
+  }
+  // Join retry + ring-presence sweep.  Invariants at a quiesce barrier:
+  // join_timer_ is armed iff join_bootstrap_ is valid, and scan_timer_ is
+  // armed (with a valid target) iff the sweep is active.
+  w.boolean(join_bootstrap_.valid());
+  if (join_bootstrap_.valid()) {
+    w.u128(join_bootstrap_.id);
+    w.i64(join_bootstrap_.host);
+    w.i64(join_attempts_);
+    w.f64(sim.event_time(join_timer_));
+    w.u64(sim.event_seq(join_timer_));
+  }
+  w.boolean(scan_started_);
+  w.boolean(scan_active_);
+  if (scan_active_) {
+    w.u128(scan_cursor_);
+    w.u128(scan_target_.id);
+    w.i64(scan_target_.host);
+    w.f64(sim.event_time(scan_timer_));
+    w.u64(sim.event_seq(scan_timer_));
+    w.u32(static_cast<std::uint32_t>(scan_candidates_.size()));
+    for (const auto& [d, n] : scan_candidates_) {
+      w.u128(n.id);
+      w.i64(n.host);
+    }
   }
   w.end_section();
 }
@@ -451,6 +596,42 @@ void PastryNode::ckpt_restore(ckpt::Reader& r) {
     p.timer = sim.schedule_at_with_seq(
         fire, event_seq, [this, seq]() { retransmit_reliable(seq); });
     pending_reliable_.emplace(seq, std::move(p));
+  }
+  if (join_timer_ != sim::kInvalidEventId) sim.cancel(join_timer_);
+  join_timer_ = sim::kInvalidEventId;
+  join_bootstrap_ = NodeHandle{};
+  join_attempts_ = 0;
+  if (r.boolean()) {
+    join_bootstrap_.id = r.u128();
+    join_bootstrap_.host = static_cast<net::HostId>(r.i64());
+    join_attempts_ = static_cast<int>(r.i64());
+    double fire = r.f64();
+    std::uint64_t event_seq = r.u64();
+    join_timer_ =
+        sim.schedule_at_with_seq(fire, event_seq, [this]() { retry_join(); });
+  }
+  if (scan_timer_ != sim::kInvalidEventId) sim.cancel(scan_timer_);
+  scan_timer_ = sim::kInvalidEventId;
+  scan_target_ = NodeHandle{};
+  scan_cursor_ = U128{};
+  scan_candidates_.clear();
+  scan_started_ = r.boolean();
+  scan_active_ = r.boolean();
+  if (scan_active_) {
+    scan_cursor_ = r.u128();
+    scan_target_.id = r.u128();
+    scan_target_.host = static_cast<net::HostId>(r.i64());
+    double fire = r.f64();
+    std::uint64_t event_seq = r.u64();
+    scan_timer_ = sim.schedule_at_with_seq(fire, event_seq,
+                                           [this]() { scan_step_timeout(); });
+    std::uint32_t n_cand = r.u32();
+    for (std::uint32_t i = 0; i < n_cand; ++i) {
+      NodeHandle n;
+      n.id = r.u128();
+      n.host = static_cast<net::HostId>(r.i64());
+      scan_candidates_.emplace(n.id - handle_.id, n);
+    }
   }
   r.exit_section();
 }

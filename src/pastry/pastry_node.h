@@ -106,7 +106,22 @@ class PastryNode {
 
   /// Starts the message-based join through `bootstrap` (must be live).
   /// State arrives asynchronously; run the simulator to complete it.
+  /// The JoinRequest is re-issued every kJoinRetryS until the delivery
+  /// node's leaf-set transfer arrives (routed joins are fire-and-forget and
+  /// a lossy network can eat one), and once it does the newcomer runs a
+  /// ring-presence sweep (internal::RingScan) that visits every live node —
+  /// after quiescence the fleet's state is entry-for-entry identical to a
+  /// bulk/oracle bootstrap of the same membership.
   void begin_join(const NodeHandle& bootstrap);
+
+  static constexpr double kJoinRetryS = 10.0;
+  static constexpr int kJoinMaxAttempts = 8;
+  /// Per-step sweep timeout; exceeds the reliable channel's total patience
+  /// (~23.5 s) so a step is only abandoned once retransmission has given up.
+  static constexpr double kScanStepTimeoutS = 30.0;
+
+  /// True while the ring-presence sweep is still visiting nodes (test aid).
+  bool ring_scan_active() const { return scan_active_; }
 
   /// One round of leaf-set stabilization: exchange leaf sets with the two
   /// extreme leaves.  Cheap, idempotent; benches call it periodically.
@@ -135,10 +150,10 @@ class PastryNode {
   PastryNetwork& network() { return *network_; }
 
   // --- checkpoint/restore (src/ckpt) -------------------------------------
-  /// Serializes the three tables, the maintenance cursor, and the reliable
+  /// Serializes the three tables, the maintenance cursor, the reliable
   /// channel (dedup sets plus every unacked envelope with its retransmit
-  /// timer's fire time/seq).  Envelope payloads go through the
-  /// ckpt::PayloadCodec registry.
+  /// timer's fire time/seq), and the join-retry / ring-sweep state.
+  /// Envelope payloads go through the ckpt::PayloadCodec registry.
   void ckpt_save(ckpt::Writer& w) const;
 
   /// Overwrites the same state and re-arms each retransmit timer at its
@@ -156,6 +171,12 @@ class PastryNode {
   };
 
   int proximity_to(const NodeHandle& n) const;
+  void send_join_request();
+  void retry_join();
+  void start_ring_scan();
+  void scan_note(const NodeHandle& n);
+  void scan_advance();
+  void scan_step_timeout();
   void retransmit_reliable(std::uint64_t seq);
   /// Drops every pending reliable send addressed to a node we now know is
   /// dead (its transport bounce already triggered purge + app repair).
@@ -173,6 +194,22 @@ class PastryNode {
   std::map<std::uint64_t, PendingReliable> pending_reliable_;
   // Per-sender seen sequence numbers (ordered: pruned deterministically).
   std::map<U128, std::set<std::uint64_t>> seen_reliable_;
+
+  // --- join retry + ring-presence sweep ---------------------------------
+  // join_bootstrap_ stays valid (with join_timer_ armed) until the delivery
+  // node's leaf-set transfer arrives or kJoinMaxAttempts are exhausted.
+  NodeHandle join_bootstrap_{};
+  int join_attempts_ = 0;
+  sim::EventId join_timer_ = sim::kInvalidEventId;
+  // The sweep runs at most once per lifetime.  While active, exactly one
+  // target is outstanding and scan_timer_ is armed; candidates are keyed by
+  // clockwise ring distance from us and visited in increasing order.
+  bool scan_started_ = false;
+  bool scan_active_ = false;
+  U128 scan_cursor_{};
+  NodeHandle scan_target_{};
+  sim::EventId scan_timer_ = sim::kInvalidEventId;
+  std::map<U128, NodeHandle> scan_candidates_;
 };
 
 }  // namespace vb::pastry

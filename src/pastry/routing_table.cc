@@ -24,7 +24,14 @@ bool RoutingTable::consider(const NodeHandle& candidate, int proximity) {
     }
     return false;
   }
-  if (proximity < cell->proximity) {
+  // Total order on candidates: proximity first, numeric id as the
+  // tie-break.  Each cell therefore converges to the unique minimum over
+  // every candidate ever offered, independent of arrival order — the
+  // bulk-join synthesizer (bulk_bootstrap.cc) relies on this to produce
+  // state bit-identical to any sequence of learn() calls with the same
+  // candidate coverage.
+  if (proximity < cell->proximity ||
+      (proximity == cell->proximity && candidate.id < cell->node.id)) {
     cell = RouteEntry{candidate, proximity};
     return true;
   }

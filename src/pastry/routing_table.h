@@ -26,9 +26,12 @@ class RoutingTable {
   /// `owner` is the local node id; entries are indexed relative to it.
   explicit RoutingTable(const U128& owner);
 
-  /// Considers `candidate` for the table.  Replaces an existing entry only
-  /// if the candidate is strictly closer by proximity.  Self and exact
-  /// duplicates are ignored.  Returns true if the table changed.
+  /// Considers `candidate` for the table.  Replaces an existing entry if the
+  /// candidate is strictly closer by proximity, or equally close with a
+  /// numerically smaller id — a total order, so each cell converges to the
+  /// unique minimum over all candidates offered regardless of order (the
+  /// bulk-join synthesizer depends on this).  Self and exact duplicates are
+  /// ignored.  Returns true if the table changed.
   bool consider(const NodeHandle& candidate, int proximity);
 
   /// Removes a (presumed failed) node wherever it appears.
@@ -46,6 +49,15 @@ class RoutingTable {
     if (row < 0 || row >= kIdDigits || col < 0 || col >= kIdBase) return nullptr;
     const auto& cell = cells_[static_cast<std::size_t>(cell_index(row, col))];
     return cell.has_value() ? &cell->node : nullptr;
+  }
+
+  /// Full cell contents including the remembered proximity, or nullptr if
+  /// empty/out of range (equivalence property tests compare synthesized vs
+  /// converged tables entry-for-entry, proximity included).
+  const RouteEntry* entry_ptr(int row, int col) const {
+    if (row < 0 || row >= kIdDigits || col < 0 || col >= kIdBase) return nullptr;
+    const auto& cell = cells_[static_cast<std::size_t>(cell_index(row, col))];
+    return cell.has_value() ? &*cell : nullptr;
   }
 
   /// Visits every populated entry without materializing a vector (rule-3

@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "obs/metrics.h"
+#include "pastry/bulk_bootstrap.h"
 
 namespace vb::core {
 
@@ -44,9 +45,7 @@ VBundleCloud::VBundleCloud(CloudConfig cfg)
       sim_.run_to_completion();
     }
   } else {
-    for (int h = 0; h < topo_.num_hosts(); ++h) {
-      pastry_->add_node_oracle(ids[static_cast<std::size_t>(h)], h);
-    }
+    pastry_->bootstrap_bulk(pastry::fleet_one_per_host(ids));
   }
 
   scribe_ = std::make_unique<scribe::ScribeNetwork>(pastry_.get());

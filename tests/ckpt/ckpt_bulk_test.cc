@@ -1,0 +1,292 @@
+// Checkpoint/restore of a bulk-bootstrapped fleet (see
+// src/pastry/bulk_bootstrap.h): an image saved at a quiesce barrier restores
+// into a freshly bulk-booted world and resumes bit-identically — on the
+// serial engine and on the 4-shard parallel engine at 1 and 4 worker
+// threads.  Mirrors the routed-token workload of ckpt_parallel_test.cc; the
+// only structural difference is that the fleet comes up via bootstrap_bulk
+// instead of per-node oracle insertion, which is exactly the surface this
+// fixture locks down.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ckpt/format.h"
+#include "ckpt/payload_codec.h"
+#include "common/rng.h"
+#include "net/topology.h"
+#include "pastry/bulk_bootstrap.h"
+#include "pastry/pastry_network.h"
+#include "sim/parallel_runner.h"
+
+namespace vb {
+namespace {
+
+constexpr int kShards = 4;
+constexpr double kSaveFrom = 8.0;  // quiesce starts here; periodics run to 12
+constexpr double kPeriodicUntil = 12.0;
+constexpr double kEnd = 15.0;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct TokenPayload : pastry::Payload {
+  explicit TokenPayload(std::uint64_t t) : token(t) {}
+  std::size_t wire_bytes() const override { return 48; }
+  std::string name() const override { return "test.bulk_token"; }
+  std::uint64_t token;
+};
+
+void register_codecs() {
+  pastry::register_ckpt_payload_codecs();
+  ckpt::PayloadCodec::add(
+      "test.bulk_token",
+      [](ckpt::Writer& w, const pastry::Payload& p) {
+        w.u64(ckpt::payload_cast<TokenPayload>(p).token);
+      },
+      [](ckpt::Reader& r) -> pastry::PayloadPtr {
+        return std::make_shared<TokenPayload>(r.u64());
+      });
+}
+
+class TokenApp : public pastry::PastryApp {
+ public:
+  explicit TokenApp(std::uint64_t seed) : rng(seed) {}
+
+  void deliver(pastry::PastryNode& self, const pastry::RouteMsg& msg) override {
+    auto tok = std::dynamic_pointer_cast<const TokenPayload>(msg.payload);
+    if (!tok) return;
+    registry.push_back(tok->token);
+    self.send_reliable(msg.source,
+                       std::make_shared<TokenPayload>(tok->token ^ 0xACCULL));
+  }
+
+  void receive_direct(pastry::PastryNode&, const pastry::NodeHandle&,
+                      const pastry::PayloadPtr& payload,
+                      pastry::MsgCategory) override {
+    if (std::dynamic_pointer_cast<const TokenPayload>(payload)) ++acks_in;
+  }
+
+  Rng rng;
+  std::vector<std::uint64_t> registry;
+  std::uint64_t acks_in = 0;
+};
+
+/// Deterministic reconstruction with a bulk-booted fleet.  shards == 0 runs
+/// the plain serial Simulator; shards > 0 runs the ParallelRunner with the
+/// given worker-thread count.
+struct World {
+  World(std::uint64_t seed, int shards, int threads) : topo(make_tcfg()) {
+    if (shards > 0) {
+      shard_map = topo.rack_aligned_shards(shards);
+      lookahead = 0.5 * topo.min_cross_shard_latency_s(shard_map);
+      runner.emplace(shards, lookahead, threads);
+      net.emplace(&runner->shard(0), &topo);
+    } else {
+      serial_sim.emplace();
+      net.emplace(&*serial_sim, &topo);
+    }
+    Rng ids(seed);
+    for (int h = 0; h < topo.num_hosts(); ++h) node_ids.push_back(ids.next_u128());
+    net->bootstrap_bulk(pastry::fleet_one_per_host(node_ids));
+    if (shards > 0) net->enable_sharding(&*runner, shard_map);
+    for (int h = 0; h < topo.num_hosts(); ++h) {
+      pastry::PastryNode* node = &net->at(node_ids[static_cast<std::size_t>(h)]);
+      apps.push_back(std::make_unique<TokenApp>(seed ^ (0xB17ULL + h)));
+      node->add_app(apps.back().get());
+      TokenApp* app = apps.back().get();
+      net->simulator_for(h).schedule_periodic(
+          0.05 + 0.001 * h, 0.25,
+          [app, node] {
+            node->route(app->rng.next_u128(),
+                        std::make_shared<TokenPayload>(app->rng.next_u64()));
+            return true;
+          },
+          kPeriodicUntil);
+    }
+  }
+
+  static net::TopologyConfig make_tcfg() {
+    net::TopologyConfig tcfg;
+    tcfg.num_pods = 2;
+    tcfg.racks_per_pod = 4;
+    tcfg.hosts_per_rack = 4;  // 32 hosts, 8 racks
+    return tcfg;
+  }
+
+  void run_until(double t) {
+    if (runner) {
+      runner->run_until(t);
+    } else {
+      serial_sim->run_until(t);
+    }
+  }
+
+  std::uint64_t events_executed() const {
+    return runner ? runner->events_executed() : serial_sim->events_executed();
+  }
+
+  /// Same deterministic stepping in every run shape (see ckpt_parallel).
+  double quiesce(double from) {
+    double t = from;
+    const double step = std::max(lookahead, 0.05);
+    int guard = 0;
+    while (net->wire_in_flight() > 0) {
+      t = from + (++guard) * step;
+      run_until(t);
+      if (guard > 5000) throw std::logic_error("quiesce: wire never drained");
+    }
+    return t;
+  }
+
+  net::Topology topo;
+  std::vector<int> shard_map;
+  double lookahead = 0.0;
+  std::optional<sim::ParallelRunner> runner;
+  std::optional<sim::Simulator> serial_sim;
+  std::optional<pastry::PastryNetwork> net;
+  std::vector<U128> node_ids;
+  std::vector<std::unique_ptr<TokenApp>> apps;
+};
+
+std::vector<std::uint8_t> save(const World& w) {
+  ckpt::Writer wr;
+  wr.begin_section("bulk_ckpt_test");
+  if (w.runner) {
+    w.runner->ckpt_save(wr);
+  } else {
+    w.serial_sim->ckpt_save(wr);
+  }
+  w.net->ckpt_save(wr);
+  wr.begin_section("apps");
+  wr.u32(static_cast<std::uint32_t>(w.apps.size()));
+  for (const auto& app : w.apps) {
+    Rng::State s = app->rng.ckpt_state();
+    wr.u64(s.state);
+    wr.boolean(s.have_spare_normal);
+    wr.f64(s.spare_normal);
+    wr.u64(app->acks_in);
+    wr.u64(app->registry.size());
+    for (std::uint64_t t : app->registry) wr.u64(t);
+  }
+  wr.end_section();
+  wr.end_section();
+  return wr.finish();
+}
+
+void restore(World& w, const std::vector<std::uint8_t>& image) {
+  ckpt::Reader r(image);
+  r.enter_section("bulk_ckpt_test");
+  if (w.runner) {
+    w.runner->ckpt_restore(r);
+  } else {
+    w.serial_sim->ckpt_restore(r);
+  }
+  w.net->ckpt_restore(r);
+  r.enter_section("apps");
+  std::uint32_t n = r.u32();
+  if (n != w.apps.size()) throw ckpt::CkptError("apps: count mismatch");
+  for (auto& app : w.apps) {
+    Rng::State s;
+    s.state = r.u64();
+    s.have_spare_normal = r.boolean();
+    s.spare_normal = r.f64();
+    app->rng.ckpt_restore(s);
+    app->acks_in = r.u64();
+    app->registry.assign(r.u64(), 0);
+    for (std::uint64_t& t : app->registry) t = r.u64();
+  }
+  r.exit_section();
+  r.exit_section();
+  if (!r.at_end()) throw ckpt::CkptError("apps: trailing bytes");
+}
+
+struct Fingerprint {
+  std::uint64_t events_executed = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t token_hash = 0;
+  std::uint64_t traffic_hash = 0;
+  std::uint64_t total_msgs = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint(World& w) {
+  Fingerprint fp;
+  fp.events_executed = w.events_executed();
+  fp.token_hash = 1469598103934665603ULL;
+  fp.traffic_hash = 1469598103934665603ULL;
+  for (int h = 0; h < w.topo.num_hosts(); ++h) {
+    const TokenApp& app = *w.apps[static_cast<std::size_t>(h)];
+    fp.acks += app.acks_in;
+    for (std::uint64_t t : app.registry) fp.token_hash = fnv1a(fp.token_hash, t);
+    const pastry::TrafficCounters& c =
+        w.net->counters(w.node_ids[static_cast<std::size_t>(h)]);
+    fp.traffic_hash = fnv1a(fp.traffic_hash, c.total_msgs());
+    fp.traffic_hash = fnv1a(fp.traffic_hash, c.total_bytes());
+  }
+  fp.total_msgs = w.net->total_msgs();
+  return fp;
+}
+
+Fingerprint run_uninterrupted(std::uint64_t seed, int shards, int threads) {
+  World w(seed, shards, threads);
+  w.run_until(kSaveFrom);
+  w.quiesce(kSaveFrom);
+  w.run_until(kEnd);
+  return fingerprint(w);
+}
+
+Fingerprint run_with_save(std::uint64_t seed, int shards, int threads,
+                          std::vector<std::uint8_t>& image_out) {
+  World w(seed, shards, threads);
+  w.run_until(kSaveFrom);
+  w.quiesce(kSaveFrom);
+  image_out = save(w);
+  w.run_until(kEnd);
+  return fingerprint(w);
+}
+
+Fingerprint run_restored(std::uint64_t seed, int shards, int threads,
+                         const std::vector<std::uint8_t>& image) {
+  World w(seed, shards, threads);
+  restore(w, image);
+  w.run_until(kEnd);
+  return fingerprint(w);
+}
+
+TEST(CkptBulk, SerialResumeBitIdentical) {
+  register_codecs();
+  Fingerprint base = run_uninterrupted(19, 0, 1);
+  std::vector<std::uint8_t> image;
+  Fingerprint saved = run_with_save(19, 0, 1, image);
+  EXPECT_TRUE(base == saved) << "save perturbed the serial run";
+  Fingerprint restored = run_restored(19, 0, 1, image);
+  EXPECT_TRUE(base == restored) << "serial restore diverged";
+  EXPECT_GT(base.acks, 0u);
+  EXPECT_GT(base.total_msgs, 0u);
+}
+
+TEST(CkptBulk, ShardedResumeBitIdenticalAcrossThreadCounts) {
+  register_codecs();
+  Fingerprint base = run_uninterrupted(19, kShards, 1);
+  std::vector<std::uint8_t> image;
+  Fingerprint saved = run_with_save(19, kShards, 4, image);
+  EXPECT_TRUE(base == saved) << "with-save@4 diverged from uninterrupted@1";
+  Fingerprint restored4 = run_restored(19, kShards, 4, image);
+  EXPECT_TRUE(base == restored4) << "restored@4 diverged";
+  Fingerprint restored1 = run_restored(19, kShards, 1, image);
+  EXPECT_TRUE(base == restored1) << "restored@1 diverged";
+  EXPECT_GT(base.acks, 0u);
+}
+
+}  // namespace
+}  // namespace vb

@@ -1,0 +1,76 @@
+// 1024-node runs of the bulk-bootstrap equivalence properties (label: slow).
+// The tier1-sized runs (64/256 nodes, more seeds per property) live in
+// bulk_bootstrap_property_test.cc.
+#include "bulk_equivalence.h"
+
+#include "ckpt/format.h"
+
+namespace vb::pastry {
+namespace {
+
+using testutil::build_by_joins;
+using testutil::build_oracle;
+using testutil::expect_same_network_state;
+using testutil::make_ids;
+using testutil::make_topo;
+using testutil::route_path;
+
+constexpr int kN = 1024;
+
+TEST(BulkBootstrapSlow, BitIdenticalToOracleAt1024) {
+  net::Topology topo = make_topo(kN);
+  for (std::uint64_t seed : {101ull, 102ull, 103ull, 104ull, 105ull, 106ull,
+                             107ull, 108ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::vector<U128> ids = make_ids(kN, seed);
+    std::vector<BulkFleetEntry> fleet = fleet_one_per_host(ids);
+
+    sim::Simulator sim_a, sim_b;
+    PastryNetwork bulk(&sim_a, &topo);
+    PastryNetwork oracle(&sim_b, &topo);
+    bulk.bootstrap_bulk(fleet);
+    build_oracle(oracle, fleet);
+
+    expect_same_network_state(bulk, oracle, "bulk vs oracle @1024");
+    if (::testing::Test::HasFatalFailure()) return;
+
+    ckpt::Writer wa, wb;
+    bulk.ckpt_save(wa);
+    oracle.ckpt_save(wb);
+    EXPECT_EQ(wa.finish(), wb.finish()) << "checkpoint images differ";
+  }
+}
+
+TEST(BulkBootstrapSlow, MatchesSequentialProtocolJoinsAt1024) {
+  // Sequential joins at 1024 nodes dominate this suite's runtime, so fewer
+  // seeds than the oracle property above.
+  net::Topology topo = make_topo(kN);
+  for (std::uint64_t seed : {201ull, 202ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::vector<U128> ids = make_ids(kN, seed);
+    std::vector<BulkFleetEntry> fleet = fleet_one_per_host(ids);
+
+    sim::Simulator sim_a, sim_b;
+    PastryNetwork bulk(&sim_a, &topo);
+    PastryNetwork joined(&sim_b, &topo);
+    bulk.bootstrap_bulk(fleet);
+    build_by_joins(joined, sim_b, fleet, seed);
+
+    expect_same_network_state(bulk, joined, "bulk vs protocol joins @1024");
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // Route spot checks at scale ride along on the already-built pair.
+    Rng rng(seed + 5);
+    for (int trial = 0; trial < 32; ++trial) {
+      U128 key = rng.next_u128();
+      const U128& start = ids[rng.index(ids.size())];
+      std::vector<U128> pa = route_path(bulk, start, key);
+      std::vector<U128> pb = route_path(joined, start, key);
+      ASSERT_EQ(pa, pb) << "hop sequences diverge for key " << key.short_hex();
+      EXPECT_TRUE(pa.back() == bulk.global_closest(key).id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vb::pastry

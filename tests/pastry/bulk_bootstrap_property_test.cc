@@ -1,0 +1,165 @@
+// Property suite for the bulk-join bootstrap synthesizer (tier1 sizes).
+//
+// Three claims, each over many seeds:
+//   1. bootstrap_bulk produces state BIT-IDENTICAL to the global-view oracle
+//      bootstrap — entry-for-entry and as serialized checkpoint bytes.
+//   2. bootstrap_bulk produces state entry-for-entry identical to sequential
+//      protocol joins run to quiescence, for any join order.
+//   3. Routes over a bulk-booted fleet take the same hop sequence and land on
+//      the same destination as over a join-built fleet, and that destination
+//      is the globally closest live node.
+//
+// The 1024-node runs of the same properties live in
+// bulk_bootstrap_property_slow_test.cc (label: slow).
+#include "bulk_equivalence.h"
+
+#include "ckpt/format.h"
+
+namespace vb::pastry {
+namespace {
+
+using testutil::build_by_joins;
+using testutil::build_oracle;
+using testutil::expect_same_network_state;
+using testutil::make_ids;
+using testutil::make_topo;
+using testutil::route_path;
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34};
+
+std::vector<std::uint8_t> ckpt_bytes(const PastryNetwork& net) {
+  ckpt::Writer w;
+  net.ckpt_save(w);
+  return w.finish();
+}
+
+TEST(BulkBootstrap, BitIdenticalToOracle) {
+  for (int n : {64, 256}) {
+    net::Topology topo = make_topo(n);
+    for (std::uint64_t seed : kSeeds) {
+      SCOPED_TRACE("n=" + std::to_string(n) + " seed=" + std::to_string(seed));
+      std::vector<U128> ids = make_ids(n, seed);
+      std::vector<BulkFleetEntry> fleet = fleet_one_per_host(ids);
+
+      sim::Simulator sim_a, sim_b;
+      PastryNetwork bulk(&sim_a, &topo);
+      PastryNetwork oracle(&sim_b, &topo);
+      bulk.bootstrap_bulk(fleet);
+      build_oracle(oracle, fleet);
+
+      expect_same_network_state(bulk, oracle, "bulk vs oracle");
+      if (::testing::Test::HasFatalFailure()) return;
+      // Stronger than entry-for-entry: the serialized images must agree byte
+      // for byte, so a bulk-booted fleet checkpoints and restores exactly
+      // like an oracle-booted one.
+      EXPECT_EQ(ckpt_bytes(bulk), ckpt_bytes(oracle)) << "checkpoint images differ";
+    }
+  }
+}
+
+TEST(BulkBootstrap, BitIdenticalToOracleWithCohostedNodes) {
+  // Two overlay nodes per host: exercises the same-host proximity tier and
+  // the synthesizer's host-bucket bookkeeping.
+  const int kHosts = 64;
+  const int kNodes = 2 * kHosts;
+  net::Topology topo = make_topo(kHosts);
+  for (std::uint64_t seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::vector<U128> ids = make_ids(kNodes, seed);
+    std::vector<BulkFleetEntry> fleet;
+    fleet.reserve(ids.size());
+    for (int i = 0; i < kNodes; ++i) {
+      fleet.push_back({ids[static_cast<std::size_t>(i)], i % kHosts});
+    }
+
+    sim::Simulator sim_a, sim_b;
+    PastryNetwork bulk(&sim_a, &topo);
+    PastryNetwork oracle(&sim_b, &topo);
+    bulk.bootstrap_bulk(fleet);
+    build_oracle(oracle, fleet);
+
+    expect_same_network_state(bulk, oracle, "bulk vs oracle (cohosted)");
+    if (::testing::Test::HasFatalFailure()) return;
+    EXPECT_EQ(ckpt_bytes(bulk), ckpt_bytes(oracle)) << "checkpoint images differ";
+  }
+}
+
+TEST(BulkBootstrap, MatchesSequentialProtocolJoins) {
+  for (int n : {64, 256}) {
+    net::Topology topo = make_topo(n);
+    for (std::uint64_t seed : kSeeds) {
+      SCOPED_TRACE("n=" + std::to_string(n) + " seed=" + std::to_string(seed));
+      std::vector<U128> ids = make_ids(n, seed);
+      std::vector<BulkFleetEntry> fleet = fleet_one_per_host(ids);
+
+      sim::Simulator sim_a, sim_b;
+      PastryNetwork bulk(&sim_a, &topo);
+      PastryNetwork joined(&sim_b, &topo);
+      bulk.bootstrap_bulk(fleet);
+      // The join order is shuffled per seed: convergence must not depend on
+      // arrival order.
+      build_by_joins(joined, sim_b, fleet, seed);
+
+      expect_same_network_state(bulk, joined, "bulk vs protocol joins");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(BulkBootstrap, RouteEquivalenceSpotChecks) {
+  const int n = 256;
+  net::Topology topo = make_topo(n);
+  for (std::uint64_t seed : {7ull, 77ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::vector<U128> ids = make_ids(n, seed);
+    std::vector<BulkFleetEntry> fleet = fleet_one_per_host(ids);
+
+    sim::Simulator sim_a, sim_b;
+    PastryNetwork bulk(&sim_a, &topo);
+    PastryNetwork joined(&sim_b, &topo);
+    bulk.bootstrap_bulk(fleet);
+    build_by_joins(joined, sim_b, fleet, seed);
+
+    Rng rng(seed * 1000 + 9);
+    for (int trial = 0; trial < 64; ++trial) {
+      U128 key = rng.next_u128();
+      const U128& start = ids[rng.index(ids.size())];
+      std::vector<U128> pa = route_path(bulk, start, key);
+      std::vector<U128> pb = route_path(joined, start, key);
+      ASSERT_EQ(pa, pb) << "hop sequences diverge for key " << key.short_hex();
+      EXPECT_TRUE(pa.back() == bulk.global_closest(key).id)
+          << "route did not land on the globally closest node for key "
+          << key.short_hex();
+    }
+  }
+}
+
+TEST(BulkBootstrap, RejectsBadInput) {
+  net::Topology topo = make_topo(64);
+  {
+    sim::Simulator sim;
+    PastryNetwork net(&sim, &topo);
+    net.add_node_oracle(U128{1}, 0);
+    EXPECT_THROW(net.bootstrap_bulk({{U128{2}, 1}}), std::logic_error);
+  }
+  {
+    sim::Simulator sim;
+    PastryNetwork net(&sim, &topo);
+    EXPECT_THROW(net.bootstrap_bulk({{U128{1}, 0}, {U128{1}, 1}}),
+                 std::invalid_argument);  // duplicate id
+  }
+  {
+    sim::Simulator sim;
+    PastryNetwork net(&sim, &topo);
+    EXPECT_THROW(net.bootstrap_bulk({{U128{1}, 64}}),
+                 std::invalid_argument);  // host out of range
+  }
+  {
+    sim::Simulator sim;
+    PastryNetwork net(&sim, &topo);
+    EXPECT_THROW(net.bootstrap_bulk({{U128{1}, -1}}), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace vb::pastry

@@ -1,0 +1,145 @@
+// Shared helpers for the bulk-bootstrap equivalence property suites
+// (bulk_bootstrap_property_test.cc at tier1 sizes, the 1024-node variant in
+// bulk_bootstrap_property_slow_test.cc, and the mixed bulk+incremental path
+// in bulk_incremental_test.cc).
+//
+// The property under test: a PastryNetwork's converged state is a pure
+// function of its (id, host) membership — the canonical state — regardless
+// of whether it was reached by oracle mutual-learn, the bulk-join
+// synthesizer, or sequential protocol joins run to quiescence.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/topology.h"
+#include "pastry/bulk_bootstrap.h"
+#include "pastry/pastry_network.h"
+#include "sim/simulator.h"
+
+namespace vb::pastry::testutil {
+
+/// One-node-per-host topology for `hosts` servers (8 per rack, 4 racks per
+/// pod).  `hosts` must be a multiple of 32.
+inline net::Topology make_topo(int hosts) {
+  net::TopologyConfig tc;
+  tc.hosts_per_rack = 8;
+  tc.racks_per_pod = 4;
+  tc.num_pods = hosts / 32;
+  return net::Topology(tc);
+}
+
+inline std::vector<U128> make_ids(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::set<U128> seen;
+  std::vector<U128> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  while (static_cast<int>(ids.size()) < n) {
+    U128 id = rng.next_u128();
+    if (seen.insert(id).second) ids.push_back(id);
+  }
+  return ids;
+}
+
+inline void build_oracle(PastryNetwork& net, const std::vector<BulkFleetEntry>& fleet) {
+  for (const BulkFleetEntry& f : fleet) net.add_node_oracle(f.id, f.host);
+}
+
+/// Sequential protocol joins in an order shuffled by `seed`, each run to
+/// quiescence before the next node enters.
+inline void build_by_joins(PastryNetwork& net, sim::Simulator& sim,
+                           std::vector<BulkFleetEntry> fleet,
+                           std::uint64_t seed) {
+  Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+  for (std::size_t i = fleet.size(); i > 1; --i) {
+    std::swap(fleet[i - 1], fleet[rng.index(i)]);
+  }
+  NodeHandle bootstrap = kNoHandle;
+  for (const BulkFleetEntry& f : fleet) {
+    PastryNode& n = net.add_node_join(f.id, f.host, bootstrap);
+    sim.run_to_completion();
+    if (!bootstrap.valid()) bootstrap = n.handle();
+  }
+}
+
+/// Entry-for-entry equality of two nodes' overlay state: leaf sets,
+/// neighbor sets, and every routing-table cell including the remembered
+/// proximity.  NodeHandle::operator== ignores the host, so hosts are
+/// compared explicitly.
+inline void expect_same_node_state(const PastryNode& a, const PastryNode& b,
+                                   const char* what) {
+  ASSERT_TRUE(a.id() == b.id());
+  ASSERT_EQ(a.host(), b.host());
+  SCOPED_TRACE(std::string(what) + ": node " + a.id().short_hex());
+
+  auto la = a.leaf_set().members();
+  auto lb = b.leaf_set().members();
+  ASSERT_EQ(la.size(), lb.size()) << "leaf-set sizes differ";
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_TRUE(la[i].id == lb[i].id) << "leaf " << i << ": "
+        << la[i].id.short_hex() << " vs " << lb[i].id.short_hex();
+    EXPECT_EQ(la[i].host, lb[i].host) << "leaf " << i << " host";
+  }
+
+  auto na = a.neighbor_set().members();
+  auto nb = b.neighbor_set().members();
+  ASSERT_EQ(na.size(), nb.size()) << "neighbor-set sizes differ";
+  for (std::size_t i = 0; i < na.size(); ++i) {
+    EXPECT_TRUE(na[i].id == nb[i].id) << "neighbor " << i << ": "
+        << na[i].id.short_hex() << " vs " << nb[i].id.short_hex();
+    EXPECT_EQ(na[i].host, nb[i].host) << "neighbor " << i << " host";
+  }
+
+  for (int row = 0; row < kIdDigits; ++row) {
+    for (int col = 0; col < kIdBase; ++col) {
+      const RouteEntry* ea = a.routing_table().entry_ptr(row, col);
+      const RouteEntry* eb = b.routing_table().entry_ptr(row, col);
+      ASSERT_EQ(ea == nullptr, eb == nullptr)
+          << "cell (" << row << "," << col << ") populated on one side only";
+      if (ea == nullptr) continue;
+      EXPECT_TRUE(ea->node.id == eb->node.id)
+          << "cell (" << row << "," << col << "): "
+          << ea->node.id.short_hex() << " vs " << eb->node.id.short_hex();
+      EXPECT_EQ(ea->node.host, eb->node.host)
+          << "cell (" << row << "," << col << ") host";
+      EXPECT_EQ(ea->proximity, eb->proximity)
+          << "cell (" << row << "," << col << ") proximity";
+    }
+  }
+}
+
+inline void expect_same_network_state(PastryNetwork& a, PastryNetwork& b,
+                                      const char* what) {
+  auto an = a.nodes();
+  auto bn = b.nodes();
+  ASSERT_EQ(an.size(), bn.size());
+  for (std::size_t i = 0; i < an.size(); ++i) {
+    expect_same_node_state(*an[i], *bn[i], what);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+/// The hop-by-hop next_hop chain a route for `key` would take from
+/// `start` — message-free, purely from table state.
+inline std::vector<U128> route_path(PastryNetwork& net, const U128& start,
+                                    const U128& key) {
+  std::vector<U128> path;
+  const PastryNode* cur = net.find(start);
+  for (;;) {
+    path.push_back(cur->id());
+    NodeHandle next = cur->next_hop(key);
+    if (next.id == cur->id()) return path;
+    cur = net.find(next.id);
+    if (cur == nullptr || path.size() > 64) {
+      ADD_FAILURE() << "route for " << key.short_hex() << " broke after "
+                    << path.size() << " hops";
+      return path;
+    }
+  }
+}
+
+}  // namespace vb::pastry::testutil

@@ -1,0 +1,94 @@
+// Incremental arrivals on top of a bulk-booted fleet.
+//
+// bootstrap_bulk is for day-zero bring-up; later arrivals still use the
+// protocol join (add_node_join).  These tests pin down that a newcomer
+// joining a bulk-booted fleet converges to exactly the state it would have
+// reached joining a sequentially-built fleet — and that both equal the
+// canonical bulk synthesis of the N+1 membership — including when the join
+// runs under message loss and duplication.
+#include "bulk_equivalence.h"
+
+#include <optional>
+
+#include "sim/fault_plan.h"
+
+namespace vb::pastry {
+namespace {
+
+using testutil::build_by_joins;
+using testutil::expect_same_network_state;
+using testutil::make_ids;
+using testutil::make_topo;
+
+constexpr int kN = 64;
+
+// Runs the newcomer's protocol join to quiescence and detaches any plan.
+void join_newcomer(PastryNetwork& net, sim::Simulator& sim,
+                   const BulkFleetEntry& x) {
+  NodeHandle bootstrap = net.nodes().front()->handle();
+  net.add_node_join(x.id, x.host, bootstrap);
+  sim.run_to_completion();
+  net.set_fault_plan(nullptr);
+}
+
+void run_case(std::uint64_t seed, bool with_faults) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               (with_faults ? " faults=on" : " faults=off"));
+  net::Topology topo = make_topo(kN);
+  std::vector<U128> ids = make_ids(kN + 1, seed);
+  BulkFleetEntry newcomer{ids.back(), 0};  // cohosted with fleet[0]
+  ids.pop_back();
+  std::vector<BulkFleetEntry> fleet = fleet_one_per_host(ids);
+
+  // A: newcomer protocol-joins a bulk-booted fleet.
+  sim::Simulator sim_a;
+  PastryNetwork onto_bulk(&sim_a, &topo);
+  onto_bulk.bootstrap_bulk(fleet);
+  // B: newcomer protocol-joins a fleet built by sequential protocol joins.
+  sim::Simulator sim_b;
+  PastryNetwork onto_joined(&sim_b, &topo);
+  build_by_joins(onto_joined, sim_b, fleet, seed);
+  // C: the canonical synthesis of the full N+1 membership.
+  sim::Simulator sim_c;
+  PastryNetwork canonical(&sim_c, &topo);
+  {
+    std::vector<BulkFleetEntry> full = fleet;
+    full.push_back(newcomer);
+    canonical.bootstrap_bulk(std::move(full));
+  }
+
+  // Loss/dup windows close long before the join-retry (10 s) and reliable
+  // give-up (~23.5 s) patience runs out, so the join must still converge.
+  std::optional<sim::FaultPlan> plan_a, plan_b;
+  if (with_faults) {
+    plan_a.emplace(seed);
+    plan_a->uniform_loss(0.05, 0.0, 5.0).uniform_duplication(0.03, 0.0, 5.0);
+    onto_bulk.set_fault_plan(&*plan_a);
+    plan_b.emplace(seed ^ 0xABCDull);
+    plan_b->uniform_loss(0.05, 0.0, 5.0).uniform_duplication(0.03, 0.0, 5.0);
+    onto_joined.set_fault_plan(&*plan_b);
+  }
+  join_newcomer(onto_bulk, sim_a, newcomer);
+  join_newcomer(onto_joined, sim_b, newcomer);
+
+  expect_same_network_state(onto_bulk, canonical, "bulk+join vs canonical");
+  if (::testing::Test::HasFatalFailure()) return;
+  expect_same_network_state(onto_joined, canonical, "joins+join vs canonical");
+}
+
+TEST(BulkIncremental, JoinOntoBulkFleetMatchesJoinOntoSequentialFleet) {
+  for (std::uint64_t seed : {11ull, 12ull, 13ull, 14ull}) {
+    run_case(seed, /*with_faults=*/false);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(BulkIncremental, JoinConvergesUnderLossAndDuplication) {
+  for (std::uint64_t seed : {21ull, 22ull, 23ull}) {
+    run_case(seed, /*with_faults=*/true);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace vb::pastry

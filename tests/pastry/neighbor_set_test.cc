@@ -36,6 +36,20 @@ TEST(NeighborSet, TieBrokenByHostDelta) {
   EXPECT_EQ(ns.members()[1].host, 3);
 }
 
+TEST(NeighborSet, EqualRankTieBreaksToSmallerId) {
+  // Hosts 0 and 2 are both one hop from owner host 1 within the rack: equal
+  // (tier, delta) rank.  The id tie-break makes a full side the unique set
+  // of smallest candidates under a total order, independent of the order
+  // they were offered — required by the bulk-join synthesizer.
+  net::Topology t = topo();
+  NeighborSet ns(1, 2);  // 1 local + 1 remote slot
+  ns.consider(h(9, 0), t);
+  EXPECT_TRUE(ns.consider(h(4, 2), t));  // equal rank, smaller id: replaces
+  ASSERT_EQ(ns.members()[0].host, 2);
+  EXPECT_FALSE(ns.consider(h(9, 0), t));  // larger id cannot reclaim the slot
+  EXPECT_EQ(ns.members()[0].host, 2);
+}
+
 TEST(NeighborSet, RemoteSlotsEvictFarthestWhenFull) {
   net::Topology t = topo();
   NeighborSet ns(0, 2);  // 1 local + 1 remote slot

@@ -35,10 +35,24 @@ TEST(RoutingTable, KeepsCloserCandidateOnConflict) {
   NodeHandle far = h("b0000000000000000000000000000001", 10);
   NodeHandle near = h("b0000000000000000000000000000002", 1);
   EXPECT_TRUE(rt.consider(far, 3));
-  EXPECT_FALSE(rt.consider(near, 3));  // same proximity: no churn
+  EXPECT_FALSE(rt.consider(near, 3));  // same proximity, larger id: no churn
   EXPECT_EQ(rt.lookup(0, 11).value(), far);
   EXPECT_TRUE(rt.consider(near, 1));  // strictly closer: replaces
   EXPECT_EQ(rt.lookup(0, 11).value(), near);
+}
+
+TEST(RoutingTable, EqualProximityTieBreaksToSmallerId) {
+  // The (proximity, id) total order makes a cell's converged occupant
+  // independent of consideration order — the bulk-join synthesizer and the
+  // join-convergence property tests rely on this.
+  RoutingTable rt(kOwner);
+  NodeHandle bigger = h("b0000000000000000000000000000002", 1);
+  NodeHandle smaller = h("b0000000000000000000000000000001", 10);
+  EXPECT_TRUE(rt.consider(bigger, 3));
+  EXPECT_TRUE(rt.consider(smaller, 3));  // equal proximity: smaller id wins
+  EXPECT_EQ(rt.lookup(0, 11).value(), smaller);
+  EXPECT_FALSE(rt.consider(bigger, 3));  // larger id can never reclaim it
+  EXPECT_EQ(rt.entry_ptr(0, 11)->proximity, 3);
 }
 
 TEST(RoutingTable, UpdatesProximityOfExistingEntry) {

@@ -34,12 +34,22 @@ EXACT = {
 # Timing-derived metrics: positive and finite, nothing more, unless a band
 # below says otherwise.
 POSITIVE = {
-    "seconds", "legacy_seconds", "serial_seconds", "bootstrap_seconds",
-    "setup_seconds", "build_seconds", "events_per_sec",
+    "seconds", "legacy_seconds", "serial_seconds", "events_per_sec",
     "legacy_events_per_sec", "routes_per_sec", "rounds_per_sec",
     "parallel_speedup", "speedup_vs_legacy",
     "save_seconds", "restore_seconds",
 }
+
+# One-way ratchets: fleet bring-up costs that an algorithmic change drove
+# down by orders of magnitude (the bulk-join synthesizer; see
+# src/pastry/bulk_bootstrap.h).  A fresh value must be finite-positive and
+# may not regress past max(reference * DECREASING_SLACK, DECREASING_FLOOR_S)
+# — generous enough for contended CI wall clocks, tight enough that an
+# accidental return to the O(N^2) path (reference * ~100+ at 16k servers)
+# can never slip through.
+DECREASING = {"bootstrap_seconds", "setup_seconds", "build_seconds"}
+DECREASING_SLACK = 25.0
+DECREASING_FLOOR_S = 0.25
 
 # Optional per-metric tolerance bands, keyed by (row name, metric):
 # value must lie in [lo, hi] in absolute terms.  These are pathology guards,
@@ -95,6 +105,15 @@ def check_row(key, fresh_row, ref_row):
         elif metric in POSITIVE:
             if not is_number(val) or not math.isfinite(val) or val <= 0:
                 fail(f"{key}: {metric}={val} is not finite-positive")
+        elif metric in DECREASING:
+            if not is_number(val) or not math.isfinite(val) or val <= 0:
+                fail(f"{key}: {metric}={val} is not finite-positive")
+            if is_number(ref_val):
+                ceiling = max(ref_val * DECREASING_SLACK, DECREASING_FLOOR_S)
+                if val > ceiling:
+                    fail(f"{key}: {metric}={val} exceeds ratchet ceiling "
+                         f"{ceiling:.6g} (reference {ref_val} — decreasing "
+                         "metric; did bring-up fall back to the O(N^2) path?)")
         elif isinstance(ref_val, bool):
             if val != ref_val:
                 fail(f"{key}: {metric}={val} != reference {ref_val}")

@@ -27,6 +27,8 @@ GOOD = {
         {"name": "ckpt_roundtrip", "servers": 64, "vms": 640,
          "save_seconds": 0.01, "restore_seconds": 0.01, "bytes": 1234,
          "resume_identical": True},
+        {"name": "route_throughput", "servers": 64, "routes": 640,
+         "bootstrap_seconds": 0.02, "seconds": 0.5},
     ],
 }
 
@@ -106,28 +108,39 @@ def main(argv):
     expect_fail("missing-metric", run(write("nokeys", mutated(results=[
         GOOD["results"][0],
         {"name": "ckpt_roundtrip", "servers": 64, "vms": 640},
+        GOOD["results"][2],
     ]))), "missing keys")
     expect_fail("exact-drift", run(write("drift", mutated(results=[
         GOOD["results"][0],
         dict(GOOD["results"][1], bytes=9999),
+        GOOD["results"][2],
     ]))), "behaviour change")
     expect_fail("nonpositive-timing", run(write("negsec", mutated(results=[
         dict(GOOD["results"][0], seconds=-1.0),
         GOOD["results"][1],
+        GOOD["results"][2],
     ]))), "finite-positive")
     expect_fail("bool-flip", run(write("boolflip", mutated(results=[
         GOOD["results"][0],
         dict(GOOD["results"][1], resume_identical=False),
+        GOOD["results"][2],
     ]))), "resume_identical")
     expect_fail("duplicate-row", run(write("dup", mutated(
         results=GOOD["results"] + [GOOD["results"][0]]))), "duplicate row")
+    # Decreasing-class metric: a bootstrap time far above the reference (an
+    # O(N^2) relapse) must trip the ratchet even though it is finite-positive.
+    expect_fail("decreasing-regression", run(write("slowboot", mutated(results=[
+        GOOD["results"][0],
+        GOOD["results"][1],
+        dict(GOOD["results"][2], bootstrap_seconds=55.0),
+    ]))), "ratchet ceiling")
 
     if failures:
         print("check_bench_selftest: FAIL", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("check_bench_selftest: OK (14 failure paths + happy path)")
+    print("check_bench_selftest: OK (15 failure paths + happy path)")
     return 0
 
 
