@@ -7,9 +7,15 @@
 // servers, so peers who are adjacent in keys have space to grow"), while
 // greedy placement strands newcomers far from their collaborators, forcing
 // long cross-rack paths.
+//
+// The arrival schedule runs through the arena in closed-world mode: the
+// original hand-rolled boot loops are exactly a ClosedWorldSource of
+// 1000-VM batches with alternating specs (tests/arena/closed_world_equiv
+// locks the equivalence), which makes this figure a special case of the
+// open-world workload of bench/arena_compare.cc.
 #include <map>
 
-#include "baselines/greedy_placement.h"
+#include "arena/arena.h"
 #include "bench_util.h"
 #include "net/traffic_matrix.h"
 
@@ -34,40 +40,43 @@ net::LocalityBreakdown measure(const core::VBundleCloud& cloud,
   return net::locality_breakdown(cloud.topology(), flows);
 }
 
+/// 1000 single-VM requests per customer, specs alternating by index —
+/// Fig. 7's population as an arena batch.
+std::vector<arena::ClosedWorldSource::Batch> paper_batches() {
+  std::vector<arena::ClosedWorldSource::Batch> batches;
+  for (const std::string& name : load::paper_customers()) {
+    batches.push_back({name, 1000,
+                       {host::VmSpec{100, 200}, host::VmSpec{200, 400}}});
+  }
+  return batches;
+}
+
 Outcome run(bool growth_via_vbundle) {
   core::CloudConfig cfg = benchutil::paper_scale_config();
   cfg.vbundle.max_placement_visits = 4000;
   core::VBundleCloud cloud(cfg);
-  Outcome out;
 
-  std::map<std::string, host::CustomerId> ids;
+  arena::ArenaConfig acfg;
+  acfg.embedder = arena::EmbedderKind::kVBundle;
+  acfg.demand_apply_interval_s = 0;  // pure placement study, no demand churn
+  arena::Arena a(&cloud, acfg);
+
   // Phase 1 (both modes): initial 1000 VMs/customer via v-Bundle, matching
   // Fig. 7's starting state.
-  for (const std::string& name : load::paper_customers()) {
-    ids[name] = cloud.add_customer(name);
-    for (int i = 0; i < 1000; ++i) {
-      host::VmSpec spec = i % 2 == 0 ? host::VmSpec{100, 200}
-                                     : host::VmSpec{200, 400};
-      auto r = cloud.boot_vm(ids[name], spec);
-      if (r.ok) out.placed[name].push_back(r.vm);
-    }
-  }
+  arena::ClosedWorldSource phase1(paper_batches());
+  a.run_closed(phase1);
+
   // Phase 2: another 1000 VMs/customer via v-Bundle (8a) or greedy (8b).
-  baseline::GreedyPlacer greedy(&cloud.fleet());
-  for (const std::string& name : load::paper_customers()) {
-    for (int i = 0; i < 1000; ++i) {
-      host::VmSpec spec = i % 2 == 0 ? host::VmSpec{100, 200}
-                                     : host::VmSpec{200, 400};
-      if (growth_via_vbundle) {
-        auto r = cloud.boot_vm(ids[name], spec);
-        if (r.ok) out.placed[name].push_back(r.vm);
-      } else {
-        host::VmId v = cloud.fleet().create_vm(ids[name], spec);
-        if (greedy.place(v) >= 0) out.placed[name].push_back(v);
-      }
-    }
+  arena::ClosedWorldSource phase2(paper_batches(), /*first_id=*/5000);
+  if (growth_via_vbundle) {
+    a.run_closed(phase2);
+  } else {
+    arena::FirstFitEmbedder greedy(&cloud);
+    a.run_closed(phase2, &greedy);
   }
 
+  Outcome out;
+  out.placed = a.admission().placed_by_tenant();
   out.locality = measure(cloud, out.placed);
   double racks = 0;
   for (const std::string& name : load::paper_customers()) {

@@ -161,6 +161,13 @@ std::vector<double> Fleet::utilization_snapshot() const {
   return out;
 }
 
+std::vector<double> Fleet::free_reservation_snapshot() const {
+  std::vector<double> out;
+  out.reserve(hosts_.size());
+  for (const Host& h : hosts_) out.push_back(h.free_reservation_mbps());
+  return out;
+}
+
 void Fleet::ckpt_save(ckpt::Writer& w) const {
   w.begin_section("fleet");
   w.u32(static_cast<std::uint32_t>(hosts_.size()));

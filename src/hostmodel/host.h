@@ -158,6 +158,11 @@ class Fleet {
   /// Utilization of every host (index = host id).
   std::vector<double> utilization_snapshot() const;
 
+  /// Unreserved NIC bandwidth of every host (index = host id), Mbps.  The
+  /// input to free-capacity accounting: how many more reservations each
+  /// server could still admit (src/arena admission, fragmentation metrics).
+  std::vector<double> free_reservation_snapshot() const;
+
   // --- checkpoint/restore (src/ckpt) -------------------------------------
   /// Serializes dynamic placement state: per-host reservations and VM lists
   /// plus every VM record.  Host capacities are static configuration and are

@@ -46,6 +46,22 @@ double max_uplink_utilization(const Topology& topo, const Allocation& alloc) {
   return worst;
 }
 
+double reservation_fragmentation(const Topology& topo,
+                                 const std::vector<double>& free_per_host) {
+  std::vector<double> rack_free(static_cast<std::size_t>(topo.num_racks()),
+                                0.0);
+  double total = 0.0;
+  int n = std::min(topo.num_hosts(), static_cast<int>(free_per_host.size()));
+  for (int h = 0; h < n; ++h) {
+    double f = std::max(0.0, free_per_host[static_cast<std::size_t>(h)]);
+    rack_free[static_cast<std::size_t>(topo.rack_of(h))] += f;
+    total += f;
+  }
+  if (total <= 0.0) return 1.0;  // no free capacity at all: fully fragmented
+  double largest = *std::max_element(rack_free.begin(), rack_free.end());
+  return 1.0 - largest / total;
+}
+
 double mean_tor_uplink_utilization(const Topology& topo,
                                    const Allocation& alloc) {
   double sum = 0.0;

@@ -44,4 +44,13 @@ double max_uplink_utilization(const Topology& topo, const Allocation& alloc);
 double mean_tor_uplink_utilization(const Topology& topo,
                                    const Allocation& alloc);
 
+/// Fragmentation of the fleet's unreserved bandwidth in [0, 1]:
+/// 1 - (largest single-rack free reservation pool / total free).
+/// 0 means all remaining capacity sits in one rack (a VC(N, B) can still be
+/// embedded there without touching bi-section links); values near 1 mean the
+/// free capacity is shredded across racks, so any further bundle pays ToR
+/// uplink bandwidth.  `free_per_host` is Fleet::free_reservation_snapshot().
+double reservation_fragmentation(const Topology& topo,
+                                 const std::vector<double>& free_per_host);
+
 }  // namespace vb::net

@@ -83,7 +83,11 @@ class RampDemand : public DemandProfile {
 class DemandModel {
  public:
   void assign(host::VmId vm, std::unique_ptr<DemandProfile> profile);
+  /// Drops a VM's profile (no-op if absent) — lifecycle churn support: a
+  /// departed VM must stop generating demand.
+  void unassign(host::VmId vm) { profiles_.erase(vm); }
   bool has(host::VmId vm) const { return profiles_.contains(vm); }
+  std::size_t size() const { return profiles_.size(); }
 
   /// Demand of one VM at `t` (0 if the VM has no profile).
   double demand_of(host::VmId vm, double t) const;

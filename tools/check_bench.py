@@ -29,6 +29,12 @@ EXACT = {
     "servers", "threads", "shards", "events", "routes", "rounds", "vms",
     "sim_events", "migrations", "tree_height", "cross_shard_posts",
     "bytes",
+    # Arena campaign outcomes (BENCH_arena.json): the accept/reject sequence
+    # is a pure function of the seed, so the counters and the decision
+    # fingerprint are bit-stable across machines.
+    "requests", "accepted", "rejected_capacity", "rejected_cost",
+    "vms_accepted", "slo_violations", "migration_churn",
+    "decision_fingerprint",
 }
 
 # Timing-derived metrics: positive and finite, nothing more, unless a band
@@ -38,6 +44,19 @@ POSITIVE = {
     "legacy_events_per_sec", "routes_per_sec", "rounds_per_sec",
     "parallel_speedup", "speedup_vs_legacy",
     "save_seconds", "restore_seconds",
+    "revenue", "offered_revenue",
+}
+
+# Absolute-scale ratio metrics, checked wherever they appear: acceptance
+# rates, revenue capture, and the fleet fragmentation/utilization ratios of
+# BENCH_arena.json are meaningless outside their class band on any machine,
+# at any scale.  Unlike BANDS (keyed per row), BANDED applies to every row
+# that carries the metric.
+BANDED = {
+    "acceptance_rate": (0.0, 1.0),
+    "revenue_capture": (0.0, 1.0),
+    "fragmentation": (0.0, 1.0),
+    "utilization": (0.0, 1.0),
 }
 
 # One-way ratchets: fleet bring-up costs that an algorithmic change drove
@@ -98,6 +117,11 @@ def check_row(key, fresh_row, ref_row):
         if band is not None:
             if not is_number(val) or not (band[0] <= val <= band[1]):
                 fail(f"{key}: {metric}={val} outside band [{band[0]}, {band[1]}]")
+        elif metric in BANDED:
+            lo, hi = BANDED[metric]
+            if not is_number(val) or not (lo <= val <= hi):
+                fail(f"{key}: {metric}={val} outside band [{lo}, {hi}] "
+                     "(BANDED metric — a ratio left its meaningful range)")
         elif metric in EXACT:
             if val != ref_val:
                 fail(f"{key}: {metric}={val} != reference {ref_val} "

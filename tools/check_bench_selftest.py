@@ -29,6 +29,9 @@ GOOD = {
          "resume_identical": True},
         {"name": "route_throughput", "servers": 64, "routes": 640,
          "bootstrap_seconds": 0.02, "seconds": 0.5},
+        {"name": "arena_vbundle", "servers": 64, "requests": 10,
+         "accepted": 5, "acceptance_rate": 0.5, "revenue": 1.25,
+         "revenue_capture": 0.4},
     ],
 }
 
@@ -109,21 +112,25 @@ def main(argv):
         GOOD["results"][0],
         {"name": "ckpt_roundtrip", "servers": 64, "vms": 640},
         GOOD["results"][2],
+        GOOD["results"][3],
     ]))), "missing keys")
     expect_fail("exact-drift", run(write("drift", mutated(results=[
         GOOD["results"][0],
         dict(GOOD["results"][1], bytes=9999),
         GOOD["results"][2],
+        GOOD["results"][3],
     ]))), "behaviour change")
     expect_fail("nonpositive-timing", run(write("negsec", mutated(results=[
         dict(GOOD["results"][0], seconds=-1.0),
         GOOD["results"][1],
         GOOD["results"][2],
+        GOOD["results"][3],
     ]))), "finite-positive")
     expect_fail("bool-flip", run(write("boolflip", mutated(results=[
         GOOD["results"][0],
         dict(GOOD["results"][1], resume_identical=False),
         GOOD["results"][2],
+        GOOD["results"][3],
     ]))), "resume_identical")
     expect_fail("duplicate-row", run(write("dup", mutated(
         results=GOOD["results"] + [GOOD["results"][0]]))), "duplicate row")
@@ -133,14 +140,23 @@ def main(argv):
         GOOD["results"][0],
         GOOD["results"][1],
         dict(GOOD["results"][2], bootstrap_seconds=55.0),
+        GOOD["results"][3],
     ]))), "ratchet ceiling")
+    # BANDED-class metric: a ratio outside its absolute range (an acceptance
+    # rate above 1) must fail on any row that carries it.
+    expect_fail("banded-out-of-range", run(write("badratio", mutated(results=[
+        GOOD["results"][0],
+        GOOD["results"][1],
+        GOOD["results"][2],
+        dict(GOOD["results"][3], acceptance_rate=1.7),
+    ]))), "outside band")
 
     if failures:
         print("check_bench_selftest: FAIL", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("check_bench_selftest: OK (15 failure paths + happy path)")
+    print("check_bench_selftest: OK (16 failure paths + happy path)")
     return 0
 
 

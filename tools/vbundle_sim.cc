@@ -5,47 +5,16 @@
 //   rebalance   run the decentralized shuffler on a skewed cloud (SD series)
 //   sipp        the VoIP QoS experiment (failed calls / response times)
 //   overhead    per-host message overhead of the running service
+//   arena       open-world admission campaign (also spelled --arena)
 //
-// Common flags:
-//   --pods N --racks N --hosts N      topology shape (default 2x4x4)
-//   --nic MBPS --oversub R            link capacities (default 1000, 8)
-//   --seed S                          RNG seed (default 42)
-//   --threshold T                     shed/receive margin (default 0.183)
-//   --update-interval S --rebalance-interval S
-//   --duration S                      simulated seconds to run
-//   --csv PATH                        also dump the series as CSV
-//   --trace PATH                      record causal traces; Chrome JSON
-//                                     (or JSONL if PATH ends in .jsonl)
-//   --metrics PATH                    final metrics snapshot; CSV
-//                                     (or JSON if PATH ends in .json)
-//
-// Checkpointing (rebalance subcommand; see docs/ARCHITECTURE.md):
-//   --checkpoint-every S              save a checkpoint every S simulated
-//                                     seconds (taken at quiesce barriers)
-//   --checkpoint-file PATH            where to write it (default
-//                                     vbundle_sim.ckpt, overwritten)
-//   --restore-from PATH               resume from an image instead of
-//                                     starting at t=0.  All scenario flags
-//                                     (seed, shape, intervals) and the
-//                                     presence of --trace must match the
-//                                     saving run; the resumed run is
-//                                     bit-identical to one that never
-//                                     stopped.  Re-running the same tail
-//                                     with --trace added on the *saving*
-//                                     run is the time-travel workflow
-//                                     (EXPERIMENTS.md).
-//
-// Examples:
-//   vbundle_sim placement --customers 5 --vms 200 --racks 8
-//   vbundle_sim rebalance --threshold 0.1 --duration 4800 --csv sd.csv
-//   vbundle_sim rebalance --duration 4800 --checkpoint-every 1200
-//   vbundle_sim rebalance --duration 4800 --restore-from vbundle_sim.ckpt
-//   vbundle_sim sipp --duration 500
+// Run `vbundle_sim --help` for the full flag reference; the same text lives
+// in help() below and must stay in sync with the subcommand code.
 #include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "arena/arena.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/table.h"
@@ -339,10 +308,222 @@ int run_overhead(const Flags& flags) {
   return 0;
 }
 
+// Open-world admission campaign: the src/arena subsystem behind a CLI.
+// Boots a cloud, streams seeded VC(N, B) requests through the chosen
+// embedder's admission control, and reports the campaign outcome.  Supports
+// the same checkpoint/restore workflow as `rebalance` — the whole campaign
+// (loop state, generator stream, admission ledgers, cloud image) round-trips
+// and the resumed run is bit-identical at any --threads setting.
+int run_arena(const Flags& flags) {
+  core::CloudConfig cfg = config_from(flags);
+  core::VBundleCloud cloud(cfg);
+
+  arena::ArenaConfig acfg;
+  acfg.embedder =
+      arena::embedder_kind_from(flags.get_string("embedder", "vbundle"));
+  acfg.threads = flags.get_int("threads", 1);
+  // The shuffling service is part of the v-Bundle offering; baselines run
+  // without it unless explicitly asked.
+  acfg.enable_rebalancing = flags.get_bool(
+      "rebalance", acfg.embedder == arena::EmbedderKind::kVBundle);
+  acfg.generator.seed =
+      static_cast<std::uint64_t>(flags.get_int("arena-seed", 1));
+  acfg.generator.base_arrival_per_s = flags.get_double("arrival-rate", 0.05);
+  acfg.generator.diurnal_amplitude =
+      flags.get_double("diurnal-amplitude", 0.5);
+  acfg.generator.diurnal_period_s =
+      flags.get_double("diurnal-period", 86400.0);
+  acfg.generator.lognormal_lifetimes = flags.get_bool("lognormal", false);
+  acfg.generator.mean_lifetime_s = flags.get_double("lifetime", 4 * 3600.0);
+  acfg.generator.n_min = flags.get_int("n-min", 2);
+  acfg.generator.n_max = flags.get_int("n-max", 16);
+  acfg.competitive.mu = flags.get_double("mu", 16.0);
+  acfg.competitive.reject_threshold =
+      flags.get_double("reject-threshold", 0.6);
+  acfg.max_requests = static_cast<std::uint64_t>(flags.get_int("requests", 1000));
+  acfg.horizon_s = flags.get_double("duration", 86400.0);
+  acfg.sample_every_s = flags.get_double("sample-every", 600.0);
+  acfg.demand_apply_interval_s = flags.get_double("demand-interval", 60.0);
+
+  arena::Arena a(&cloud, acfg);
+
+  obs::TraceRecorder trace;
+  std::string trace_path = flags.get_string("trace", "");
+  if (!trace_path.empty()) cloud.set_trace_recorder(&trace);
+
+  std::string restore_from = flags.get_string("restore-from", "");
+  if (!restore_from.empty()) {
+    a.restore_checkpoint(read_image(restore_from));
+    std::printf("restored %s at t=%.3f\n", restore_from.c_str(), cloud.now());
+  }
+
+  double ckpt_every = flags.get_double("checkpoint-every", 0.0);
+  std::string ckpt_file =
+      flags.get_string("checkpoint-file", "vbundle_sim.ckpt");
+  if (ckpt_every > 0) {
+    for (double at = ckpt_every; at < acfg.horizon_s; at += ckpt_every) {
+      if (at <= cloud.now()) continue;  // already past (resumed mid-campaign)
+      a.run_until(at);
+      write_image(ckpt_file, a.save_checkpoint());
+      std::printf("checkpoint %s at t=%.3f\n", ckpt_file.c_str(), cloud.now());
+    }
+  }
+  a.run();
+
+  const arena::AdmissionStats& s = a.admission().stats();
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "0x%016llx",
+                static_cast<unsigned long long>(s.decision_fingerprint));
+  TextTable t;
+  t.set_header({"metric", "value"});
+  t.add_row({"embedder", arena::embedder_kind_name(acfg.embedder)});
+  t.add_row({"requests offered", TextTable::num(s.offered)});
+  t.add_row({"accepted", TextTable::num(s.accepted)});
+  t.add_row({"rejected (capacity)", TextTable::num(s.rejected_capacity)});
+  t.add_row({"rejected (cost gate)", TextTable::num(s.rejected_cost)});
+  t.add_row({"acceptance rate", TextTable::num(s.acceptance_rate(), 4)});
+  t.add_row({"revenue booked ($)", TextTable::num(s.revenue, 2)});
+  t.add_row({"revenue offered ($)", TextTable::num(s.offered_revenue, 2)});
+  t.add_row({"SLO violations", TextTable::num(a.admission().slo_violations())});
+  t.add_row({"migration churn",
+             TextTable::num(static_cast<std::size_t>(
+                 cloud.migrations().completed()))});
+  t.add_row({"fragmentation", TextTable::num(a.fragmentation(), 4)});
+  t.add_row({"utilization", TextTable::num(a.utilization(), 4)});
+  t.add_row({"decision fingerprint", fp});
+  std::printf("%s", t.to_string().c_str());
+
+  std::string metrics_path = flags.get_string("metrics", "");
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry reg;
+    cloud.collect_metrics(reg);
+    a.collect_metrics(reg);
+    reg.write(metrics_path);
+    std::printf("wrote %s (%zu series)\n", metrics_path.c_str(),
+                reg.series_count());
+  }
+  if (!trace_path.empty()) {
+    cloud.set_trace_recorder(nullptr);
+    trace.write(trace_path);
+    std::printf("wrote %s (%zu trace events, %llu dropped)\n",
+                trace_path.c_str(), trace.size(),
+                static_cast<unsigned long long>(trace.dropped()));
+  }
+  return 0;
+}
+
+int help() {
+  std::printf(
+      "usage: vbundle_sim <subcommand> [--flags]\n"
+      "\n"
+      "Subcommands:\n"
+      "  placement   boot VM fleets for N customers, report clustering\n"
+      "  rebalance   run the decentralized shuffler on a skewed cloud\n"
+      "  sipp        the VoIP QoS experiment (failed calls over time)\n"
+      "  overhead    per-host message overhead of the running service\n"
+      "  arena       open-world admission campaign (also: vbundle_sim\n"
+      "              --arena); v-Bundle or a baseline embedder\n"
+      "\n"
+      "Common flags (every subcommand):\n"
+      "  --pods N --racks N --hosts N   topology shape (default 2x4x4)\n"
+      "  --nic MBPS                     host NIC capacity (default 1000)\n"
+      "  --oversub R                    ToR oversubscription (default 8)\n"
+      "  --seed S                       cloud RNG seed (default 42)\n"
+      "  --threshold T                  shed/receive margin (default 0.183;\n"
+      "                                 sipp defaults to 0.15)\n"
+      "  --update-interval S            stat aggregation period (default 300;\n"
+      "                                 sipp defaults to 60)\n"
+      "  --rebalance-interval S         shuffling period (default 1500; sipp\n"
+      "                                 defaults to 75)\n"
+      "  --balance-cpu                  shuffle on max(net, cpu) utilization\n"
+      "  --cpu-capacity C               host CPU capacity with --balance-cpu\n"
+      "                                 (default 32)\n"
+      "  --trace PATH                   record causal traces; Chrome JSON,\n"
+      "                                 or JSONL if PATH ends in .jsonl\n"
+      "  --metrics PATH                 final metrics snapshot; CSV, or JSON\n"
+      "                                 if PATH ends in .json (arena adds\n"
+      "                                 its arena.* series)\n"
+      "\n"
+      "placement:\n"
+      "  --customers N                  tenants to boot (default 3)\n"
+      "  --vms N                        VMs per tenant (default 50)\n"
+      "  --max-visits N                 placement walk budget (default 1024)\n"
+      "\n"
+      "rebalance:\n"
+      "  --vms-per-host N               initial packing (default 10)\n"
+      "  --duration S                   simulated seconds (default 4800)\n"
+      "  --lo-util F --hi-util F        initial skew range (default 0.25, 1)\n"
+      "  --csv PATH                     dump the SD series as CSV\n"
+      "\n"
+      "sipp:\n"
+      "  --duration S                   simulated seconds (default 500)\n"
+      "  --iperf-vms N                  colocated load VMs (default 12)\n"
+      "  --rebalance-at S               first shuffle round (default 300)\n"
+      "  --csv PATH                     per-second call/bandwidth series\n"
+      "\n"
+      "overhead:\n"
+      "  --rounds N                     measured update rounds (default 10)\n"
+      "\n"
+      "arena:\n"
+      "  --embedder KIND                vbundle | greedy_tree | competitive |\n"
+      "                                 first_fit (default vbundle)\n"
+      "  --threads N                    worker threads for the deterministic\n"
+      "                                 reductions; results are bit-identical\n"
+      "                                 for any N >= 1 (default 1)\n"
+      "  --requests N                   stop offering after N arrivals\n"
+      "                                 (default 1000)\n"
+      "  --duration S                   campaign horizon (default 86400)\n"
+      "  --arena-seed S                 request-stream seed (default 1)\n"
+      "  --arrival-rate R               base arrivals/s (default 0.05)\n"
+      "  --diurnal-amplitude A          sine modulation in [0,1) (default .5)\n"
+      "  --diurnal-period S             modulation period (default 86400)\n"
+      "  --lifetime S                   mean bundle lifetime (default 14400)\n"
+      "  --lognormal                    lognormal lifetimes (default\n"
+      "                                 exponential)\n"
+      "  --n-min N --n-max N            bundle size range (default 2..16)\n"
+      "  --mu B                         competitive cost base (default 16)\n"
+      "  --reject-threshold T           competitive gate: reject when\n"
+      "                                 (mu^u-1)/(mu-1) > T (default 0.6)\n"
+      "  --rebalance[=0|1]              run the shuffling service (default:\n"
+      "                                 on for --embedder vbundle, else off)\n"
+      "  --sample-every S               frag/util sampling period (default\n"
+      "                                 600)\n"
+      "  --demand-interval S            demand-shape application period;\n"
+      "                                 0 disables (default 60)\n"
+      "\n"
+      "Checkpointing (rebalance and arena; see docs/ARCHITECTURE.md):\n"
+      "  --checkpoint-every S           save an image every S simulated\n"
+      "                                 seconds (taken at quiesce barriers)\n"
+      "  --checkpoint-file PATH         where to write it (default\n"
+      "                                 vbundle_sim.ckpt, overwritten)\n"
+      "  --restore-from PATH            resume from an image instead of\n"
+      "                                 starting at t=0.  All scenario flags\n"
+      "                                 (seed, shape, intervals, arena\n"
+      "                                 workload) and the presence of --trace\n"
+      "                                 must match the saving run; the\n"
+      "                                 resumed run is bit-identical to one\n"
+      "                                 that never stopped.  Re-running the\n"
+      "                                 same tail with --trace added is the\n"
+      "                                 time-travel workflow (EXPERIMENTS.md)\n"
+      "\n"
+      "Examples:\n"
+      "  vbundle_sim placement --customers 5 --vms 200 --racks 8\n"
+      "  vbundle_sim rebalance --threshold 0.1 --duration 4800 --csv sd.csv\n"
+      "  vbundle_sim rebalance --duration 4800 --checkpoint-every 1200\n"
+      "  vbundle_sim rebalance --duration 4800 --restore-from vbundle_sim.ckpt\n"
+      "  vbundle_sim sipp --duration 500\n"
+      "  vbundle_sim arena --embedder competitive --requests 5000 \\\n"
+      "      --arrival-rate 0.5 --duration 12000 --threads 4\n"
+      "  vbundle_sim arena --requests 2000 --checkpoint-every 3000 \\\n"
+      "      --metrics arena.metrics.json\n");
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: vbundle_sim <placement|rebalance|sipp|overhead> "
-               "[--flags]\n(see header comment of tools/vbundle_sim.cc)\n");
+               "usage: vbundle_sim <placement|rebalance|sipp|overhead|arena> "
+               "[--flags]\n(run `vbundle_sim --help` for the full flag "
+               "reference)\n");
   return 2;
 }
 
@@ -352,11 +533,13 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   Flags flags = Flags::parse(argc - 2, argv + 2);
   std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") return help();
   try {
     if (cmd == "placement") return run_placement(flags);
     if (cmd == "rebalance") return run_rebalance(flags);
     if (cmd == "sipp") return run_sipp(flags);
     if (cmd == "overhead") return run_overhead(flags);
+    if (cmd == "arena" || cmd == "--arena") return run_arena(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vbundle_sim: %s\n", e.what());
     return 1;
